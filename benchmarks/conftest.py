@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate every table and figure of the paper.  Trace
+length defaults to 12000 accesses per benchmark here (enough for the
+qualitative shapes; ~20 min for the full suite on a laptop).  Export
+``REPRO_TRACE_ACCESSES`` to override — e.g. 20000 reproduces the
+numbers recorded in EXPERIMENTS.md.
+
+Simulation runs are cached per process (see repro.experiments.runner),
+so benchmarks that share runs — e.g. Figure 5 and Figure 8 — only pay
+for them once.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_TRACE_ACCESSES", "12000")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

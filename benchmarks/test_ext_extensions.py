@@ -1,0 +1,67 @@
+"""Extensions beyond the paper's evaluated configuration.
+
+* Multi-line prefetching (inequality 6, described in Section 3.1 but
+  not evaluated there): degrees 1-4 swept — deeper degrees must not
+  collapse performance, and no degree may beat the tuned machine by an
+  implausible margin.
+* ASD as the machine's only prefetcher (the paper's future work):
+  compared head-to-head against the stock processor-side prefetcher.
+* Epoch-length sweep: the SLH epoch is a free design parameter; the
+  chosen default must sit in the flat region.
+"""
+
+from conftest import once
+
+from repro.experiments.extensions import (
+    asd_only,
+    degree_sweep,
+    render_asd_only,
+    render_degree,
+)
+from repro.experiments.sensitivity import epoch_sweep, render
+
+
+def test_ext_multi_line_degree(benchmark):
+    sweep = once(benchmark, degree_sweep)
+    print()
+    print(render_degree(sweep))
+
+    base = sweep.average(1)
+    assert base > 1.0
+    for degree in (2, 3, 4):
+        avg = sweep.average(degree)
+        # deeper prefetching stays in a sane band around degree 1
+        assert 0.9 * base < avg < 1.25 * base
+
+
+def test_ext_asd_as_only_prefetcher(benchmark):
+    result = once(benchmark, asd_only)
+    print()
+    print(render_asd_only(result))
+
+    # ASD alone is a competitive prefetcher on the focus set
+    assert result.average("asd") > 5
+    # and on the commercial (short-stream) members it beats the PS unit
+    commercial = ("tpcc", "trade2", "sap", "notesbench")
+    asd_c = sum(result.gains[b]["asd"] for b in commercial) / 4
+    ps_c = sum(result.gains[b]["ps"] for b in commercial) / 4
+    assert asd_c > ps_c
+
+    # the future-work PS-side ASD engine is a viable prefetcher: it
+    # lands in the same league as the stock Power5 unit on average
+    assert result.average("ps_asd") > 0.5 * result.average("ps")
+
+
+def test_ext_epoch_sweep(benchmark):
+    sweep = once(
+        benchmark,
+        lambda: epoch_sweep(benchmarks=("GemsFDTD", "tpcc", "bwaves")),
+    )
+    print()
+    print(render(sweep))
+
+    values = {e: sweep.average(e) for e in sweep.values}
+    assert all(v > 1.0 for v in values.values())
+    # the default epoch (1000) is within 3% of the best swept value
+    best = max(values.values())
+    assert values[1000] > best - 0.03

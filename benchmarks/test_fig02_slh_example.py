@@ -1,0 +1,30 @@
+"""Figure 2: Stream Length Histogram for an epoch of GemsFDTD.
+
+Paper: 21.8% of reads in length-1 streams, 43.7% in length-2, the rest
+spread over longer lengths — i.e. a short-stream-dominated histogram
+whose largest bar sits at length 2 in stream-heavy epochs.
+"""
+
+from conftest import once
+
+from repro.experiments.slh_figures import fig3_slh_phases
+
+
+def test_fig2_slh_example(benchmark):
+    fig = once(benchmark, lambda: fig3_slh_phases("GemsFDTD", epoch_reads=2000))
+
+    # pick the epoch whose histogram is most length-2 dominated (the
+    # paper's example epoch is from a field-sweep phase)
+    bars = max(fig.epoch_bars, key=lambda b: b[2])
+    print()
+    print("Figure 2 — SLH for a GemsFDTD epoch (% of reads)")
+    for i, bar in enumerate(bars[1:], start=1):
+        print(f"  length {i:>2}: {bar * 100:5.1f} {'#' * int(bar * 80)}")
+
+    assert abs(sum(bars[1:]) - 1.0) < 1e-9
+    # short streams carry the mass; length 2 is the dominant bar
+    assert bars[2] == max(bars[1:])
+    assert bars[2] > 0.30
+    assert bars[1] > 0.05
+    # meaningful tail beyond length 2 exists (the paper's 34.5%)
+    assert sum(bars[3:]) > 0.10

@@ -1,0 +1,40 @@
+"""Figure 3: SLHs of GemsFDTD vary widely across epochs.
+
+The paper shows three histograms (all epochs, and two arbitrary epochs)
+that differ strongly — the motivation for recomputing the SLH every
+epoch.  We assert genuine epoch-to-epoch variation: some pair of epochs
+must disagree substantially in their bar vectors.
+"""
+
+from conftest import once
+
+from repro.analysis.slh_accuracy import slh_rms_error
+from repro.experiments.slh_figures import fig3_slh_phases
+
+
+def test_fig3_slh_phases(benchmark):
+    fig = once(benchmark, lambda: fig3_slh_phases("GemsFDTD", epoch_reads=2000))
+
+    print()
+    print(fig.table(epochs=list(range(min(4, len(fig.epoch_bars))))))
+
+    assert len(fig.epoch_bars) >= 3, "need several epochs to compare"
+
+    # every epoch's bars are a distribution
+    for bars in fig.epoch_bars:
+        assert abs(sum(bars[1:]) - 1.0) < 1e-9
+
+    # the histograms genuinely move between epochs (phases)
+    spread = max(
+        slh_rms_error(a, b)
+        for a in fig.epoch_bars
+        for b in fig.epoch_bars
+    )
+    print(f"max epoch-to-epoch rms difference: {spread * 100:.1f} points")
+    assert spread > 0.10, "SLH must vary widely across epochs (paper Fig 3)"
+
+    # ... and the all-epoch aggregate hides that variation
+    worst_vs_all = max(
+        slh_rms_error(bars, fig.all_epoch_bars) for bars in fig.epoch_bars
+    )
+    assert worst_vs_all > 0.05

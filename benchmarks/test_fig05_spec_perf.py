@@ -1,0 +1,45 @@
+"""Figure 5: SPEC2006fp performance under NP / PS / MS / PMS.
+
+Paper averages: PMS vs NP +32.7%, MS vs NP +14.6%, PMS vs PS +10.2%,
+with per-benchmark PMS-vs-NP between 0 and 68.6% and the four
+non-memory-intensive benchmarks (gamess, namd, povray, calculix) near
+zero.
+"""
+
+from conftest import once
+
+from repro.experiments.performance import fig5_spec, render
+from repro.workloads.profiles import get_profile
+
+
+def test_fig5_spec_performance(benchmark):
+    suite = once(benchmark, fig5_spec)
+    print()
+    print(render(suite))
+
+    rows = {r.benchmark: r for r in suite.rows}
+
+    # suite averages in the paper's regime
+    assert 15 < suite.avg_pms_vs_np < 50
+    assert 5 < suite.avg_ms_vs_np < 30
+    assert 1 < suite.avg_pms_vs_ps < 15
+
+    # per-benchmark range: 0 .. ~70%, nothing regresses meaningfully
+    for row in suite.rows:
+        assert -2 < row.pms_vs_np < 90
+
+    # compute-bound benchmarks see (almost) nothing
+    for name in ("gamess", "namd", "povray", "calculix"):
+        assert not get_profile(name).memory_intensive
+        assert rows[name].pms_vs_np < 4
+
+    # the heavy streamers are the big winners
+    for name in ("bwaves", "lbm", "leslie3d"):
+        assert rows[name].pms_vs_np > 30
+
+    # memory-side prefetching alone always helps the memory-bound set
+    for name in ("bwaves", "milc", "GemsFDTD", "lbm"):
+        assert rows[name].ms_vs_np > 5
+
+    # PMS dominates both single-prefetcher configurations on average
+    assert suite.avg_pms_vs_np > suite.avg_ms_vs_np

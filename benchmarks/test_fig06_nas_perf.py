@@ -1,0 +1,34 @@
+"""Figure 6: NAS benchmark performance under NP / PS / MS / PMS.
+
+Paper averages: PMS vs NP +24.2%, MS vs NP +11.7%, PMS vs PS +8.1%;
+ep (embarrassingly parallel, compute bound) gains nothing.
+"""
+
+from conftest import once
+
+from repro.experiments.performance import fig6_nas, render
+
+
+def test_fig6_nas_performance(benchmark):
+    suite = once(benchmark, fig6_nas)
+    print()
+    print(render(suite))
+
+    rows = {r.benchmark: r for r in suite.rows}
+
+    assert 12 < suite.avg_pms_vs_np < 45
+    assert 4 < suite.avg_ms_vs_np < 28
+    assert 1 < suite.avg_pms_vs_ps < 12
+
+    # ep is compute bound
+    assert rows["ep"].pms_vs_np < 3
+
+    # the CFD/multigrid codes are the winners
+    for name in ("ft", "mg", "sp"):
+        assert rows[name].pms_vs_np > 18
+
+    # scatter-dominated is gains least among the memory-bound set
+    memory_bound = [r for n, r in rows.items() if n != "ep"]
+    assert rows["is"].pms_vs_np <= sorted(
+        r.pms_vs_np for r in memory_bound
+    )[2]

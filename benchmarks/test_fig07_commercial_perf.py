@@ -1,0 +1,32 @@
+"""Figure 7: commercial-benchmark performance under NP / PS / MS / PMS.
+
+Paper averages: PMS vs NP +15.1%, MS vs NP +9.3%, PMS vs PS +8.4%.
+The signature result: these low-spatial-locality workloads still gain
+from stream prefetching, and the memory-side ASD prefetcher beats the
+processor-side prefetcher on them (MS vs NP 9.3% against PS's implied
+~6.2%), because only ASD exploits streams as short as two lines.
+"""
+
+from conftest import once
+
+from repro.experiments.performance import fig7_commercial, render
+
+
+def test_fig7_commercial_performance(benchmark):
+    suite = once(benchmark, fig7_commercial)
+    print()
+    print(render(suite))
+
+    assert 4 < suite.avg_pms_vs_np < 25
+    assert 2 < suite.avg_ms_vs_np < 18
+    assert 1.5 < suite.avg_pms_vs_ps < 14
+
+    for row in suite.rows:
+        # every commercial benchmark gains from PMS
+        assert row.pms_vs_np > 3
+        # and the memory-side prefetcher alone already helps
+        assert row.ms_vs_np > 1
+
+    # the signature: MS beats what PS adds on short-stream workloads
+    avg_ps_vs_np = suite.avg_pms_vs_np - suite.avg_pms_vs_ps  # approx
+    assert suite.avg_ms_vs_np > avg_ps_vs_np * 0.8

@@ -1,0 +1,31 @@
+"""Figure 8: SPEC2006fp DRAM power/energy, PMS vs PS.
+
+Paper: power increases 2.7% on average, energy *decreases* 9.8%; for
+the four non-memory-intensive benchmarks the power impact is
+negligible (+0.12% average).
+"""
+
+from conftest import once
+
+from repro.experiments.power import fig8_power_spec, render
+
+
+def test_fig8_power_spec(benchmark):
+    fig = once(benchmark, fig8_power_spec)
+    print()
+    print(render(fig))
+
+    # power rises, but only modestly (prefetch traffic on top of a
+    # background-dominated budget)
+    assert 0 <= fig.avg_power_increase < 10
+
+    # energy moves the other way: shorter runtime saves background
+    # energy (our reduction is smaller than the paper's 9.8% because
+    # our prefetch-traffic overhead is larger; the sign is the result)
+    assert fig.avg_energy_reduction > 0
+
+    # compute-bound benchmarks barely notice
+    light = fig.non_memory_intensive_avg_power()
+    assert light is not None
+    assert abs(light) < 1.5
+    assert light < fig.avg_power_increase

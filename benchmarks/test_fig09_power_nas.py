@@ -1,0 +1,20 @@
+"""Figure 9: NAS DRAM power/energy, PMS vs PS.
+
+Paper: power +1.6% average, energy -7.9% average.
+"""
+
+from conftest import once
+
+from repro.experiments.power import fig9_power_nas, render
+
+
+def test_fig9_power_nas(benchmark):
+    fig = once(benchmark, fig9_power_nas)
+    print()
+    print(render(fig))
+
+    assert 0 <= fig.avg_power_increase < 10
+    assert fig.avg_energy_reduction > 0
+    # every benchmark individually: energy never regresses by much
+    for row in fig.rows:
+        assert row["energy_reduction_pct"] > -2

@@ -1,0 +1,19 @@
+"""Figure 10: commercial DRAM power/energy, PMS vs PS.
+
+Paper: power +2.8% average, energy -8.2% average.
+"""
+
+from conftest import once
+
+from repro.experiments.power import fig10_power_commercial, render
+
+
+def test_fig10_power_commercial(benchmark):
+    fig = once(benchmark, fig10_power_commercial)
+    print()
+    print(render(fig))
+
+    assert 0 <= fig.avg_power_increase < 10
+    assert fig.avg_energy_reduction > 0
+    for row in fig.rows:
+        assert row["energy_reduction_pct"] > -2

@@ -1,0 +1,59 @@
+"""Figure 11: impact of Adaptive Stream Detection and Adaptive Scheduling.
+
+Eight configurations per focus benchmark, normalised to adaptive PMS.
+Paper findings (and what our reproduction shows):
+
+* adaptive scheduling vs the five fixed policies: the paper reports a
+  2.3-3.6% win over each; in our system the conservative policies are
+  never starved (the serialized core drains queues), so adaptive
+  *matches* the best fixed policy instead of beating it — asserted as
+  a tie within tolerance, and the aggressive policies (3-5) are worse;
+* ASD vs next-line: the paper reports ASD 8.4% faster; in our system
+  the two tie on execution time, but ASD achieves it with far fewer
+  prefetches (asserted below) — the efficiency claim survives even
+  where the bandwidth-slack difference does not;
+* P5-style in the MC is *worse* than plain next-line (the paper's
+  surprising result) — reproduced.
+"""
+
+from conftest import once
+
+from repro.experiments.ablation import fig11_ablation, render
+from repro.experiments.runner import run
+from repro.workloads.profiles import FOCUS_BENCHMARKS
+
+
+def test_fig11_ablation(benchmark):
+    fig = once(benchmark, fig11_ablation)
+    print()
+    print(render(fig))
+
+    # adaptive scheduling ties the best fixed policy (within 1.5%) ...
+    best_fixed = min(fig.average(f"PMS_POLICY{k}") for k in range(1, 6))
+    assert best_fixed > 1.0 - 0.015
+
+    # ... and clearly beats the most aggressive policies
+    assert fig.average("PMS_POLICY5") > best_fixed
+    assert fig.average("PMS_POLICY5") >= fig.average("PMS_POLICY1") - 0.005
+
+    # P5-style in the controller loses to plain next-line (paper's
+    # "somewhat surprisingly" finding): two-miss confirmation forfeits
+    # every short stream
+    assert fig.average("PMS_P5MC") > fig.average("PMS_NEXTLINE") + 0.005
+
+    # ASD performs on par with next-line (within 3%) ...
+    assert abs(fig.average("PMS_NEXTLINE") - 1.0) < 0.03
+
+    # ... while issuing far fewer prefetches (the efficiency claim)
+    asd_prefetches = sum(
+        run(b, "PMS").stats.get("ms.issued", 0) for b in FOCUS_BENCHMARKS
+    )
+    nextline_prefetches = sum(
+        run(b, "PMS_NEXTLINE").stats.get("ms.issued", 0)
+        for b in FOCUS_BENCHMARKS
+    )
+    print(
+        f"prefetches issued: ASD {asd_prefetches:.0f} vs "
+        f"next-line {nextline_prefetches:.0f}"
+    )
+    assert asd_prefetches < 0.85 * nextline_prefetches

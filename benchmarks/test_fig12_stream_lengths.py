@@ -1,0 +1,28 @@
+"""Figure 12: streams of length 1-5 dominate every focus benchmark.
+
+Paper: lengths 1-5 constitute 78-96% of all streams; lengths 2-5 are
+roughly 37% for tpc-c, 49% for trade2, 40% for sap, and 62% for
+notesbench — the short-stream territory where only ASD can prefetch
+without waste.
+"""
+
+from conftest import once
+
+from repro.experiments.stream_lengths import fig12_stream_lengths, render
+
+
+def test_fig12_stream_lengths(benchmark):
+    fig = once(benchmark, fig12_stream_lengths)
+    print()
+    print(render(fig))
+
+    for bench in fig.benchmarks:
+        short = fig.short_fraction(bench)
+        assert 70 <= short <= 100, f"{bench}: lengths 1-5 must dominate"
+
+    # commercial workloads hold substantial 2-5 mass
+    for bench in ("tpcc", "trade2", "sap", "notesbench"):
+        assert fig.len2_5_fraction(bench) > 20
+
+    # notesbench is the most stream-y commercial workload (paper: ~62%)
+    assert fig.len2_5_fraction("notesbench") >= fig.len2_5_fraction("tpcc")

@@ -1,0 +1,28 @@
+"""Figure 15: sensitivity of PMS to Stream Filter size.
+
+Paper: sweeping 4 / 8 / 16 / 64 slots, performance improves with more
+slots but with diminishing returns past the evaluated 8-entry filter.
+"""
+
+from conftest import once
+
+from repro.experiments.sensitivity import fig15_filter_size, render
+
+
+def test_fig15_filter_sweep(benchmark):
+    fig = once(benchmark, fig15_filter_size)
+    print()
+    print(render(fig))
+
+    avg = {size: fig.average(size) for size in fig.values}
+
+    assert all(v > 1.0 for v in avg.values())
+
+    # a 4-slot filter is visibly worse than 8 (too few streams tracked)
+    assert avg[8] >= avg[4] - 0.005
+
+    # growing past 8 keeps helping but saturates: the 16 -> 64 step is
+    # no larger than the 4 -> 8 step plus tolerance
+    assert avg[16] >= avg[8] - 0.01
+    assert avg[64] >= avg[16] - 0.01
+    assert (avg[64] - avg[16]) <= (avg[8] - avg[4]) + 0.03

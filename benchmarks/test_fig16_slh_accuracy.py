@@ -1,0 +1,42 @@
+"""Figure 16: the finite Stream Filter's SLH tracks the exact histogram.
+
+Paper: for a sample GemsFDTD epoch, the 8-slot filter's approximation
+closely matches the actual SLH.  We compare bar vectors for an epoch of
+the synthetic GemsFDTD and assert a small RMS gap — and that a larger
+filter tightens it.
+"""
+
+from dataclasses import replace
+
+from conftest import once
+
+from repro.common.config import StreamFilterConfig
+from repro.experiments.slh_figures import fig16_slh_accuracy
+
+
+def test_fig16_slh_accuracy(benchmark):
+    acc = once(benchmark, fig16_slh_accuracy)
+    print()
+    print(acc.table())
+
+    # approximation is a distribution
+    assert abs(sum(acc.approximation[1:]) - 1.0) < 1e-6
+
+    # close to the ground truth: RMS within a few points per bar
+    assert acc.rms_error < 0.08
+    assert max(
+        abs(a - b) for a, b in zip(acc.actual[1:], acc.approximation[1:])
+    ) < 0.18
+
+    # the decision-critical short-stream bars agree closely: these are
+    # what the inequality-(5) comparisons at k=1..3 actually consume
+    for k in (2, 3):
+        assert abs(acc.actual[k] - acc.approximation[k]) < 0.08, k
+
+    # an unbounded-ish filter must approximate at least as well
+    big = fig16_slh_accuracy(
+        sf_config=StreamFilterConfig(slots=256, lifetime_init=64,
+                                     lifetime_increment=64,
+                                     lifetime_cap=512)
+    )
+    assert big.rms_error <= acc.rms_error + 0.01

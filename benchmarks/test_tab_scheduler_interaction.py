@@ -1,0 +1,33 @@
+"""Section 5.3: interaction with the memory scheduler.
+
+Paper: replacing the AHB scheduler with a simple in-order scheduler
+cuts the prefetcher's gain by ~5 percentage points; the (better)
+memoryless scheduler cuts it by ~1 — prefetching benefits grow as
+other memory-subsystem bottlenecks are removed.
+"""
+
+from conftest import once
+
+from repro.experiments.scheduler_interaction import (
+    render,
+    tab_scheduler_interaction,
+)
+
+
+def test_tab_scheduler_interaction(benchmark):
+    result = once(benchmark, tab_scheduler_interaction)
+    print()
+    print(render(result))
+
+    # prefetching helps under every scheduler
+    for scheduler in ("ahb", "memoryless", "in_order"):
+        assert result.average(scheduler) > 0
+
+    # the gain ordering follows scheduler quality
+    assert result.average("ahb") >= result.average("memoryless") - 1.0
+    assert result.average("memoryless") > result.average("in_order")
+
+    # in-order costs visibly more of the prefetch gain than memoryless
+    assert result.reduction_vs_ahb("in_order") > result.reduction_vs_ahb(
+        "memoryless"
+    )

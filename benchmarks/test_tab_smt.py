@@ -1,0 +1,26 @@
+"""Section 5.2 SMT results: two threads, replicated tracking state.
+
+Paper: SMT improvements are about the same as single-threaded — PMS vs
+PS +10.7/9.2/7.5% and PMS vs NP +28.5/20.4/11.1% across the suites.
+We run the focus benchmarks as homogeneous two-thread pairs and assert
+the gains survive SMT.
+"""
+
+from conftest import once
+
+from repro.experiments.smt import render, tab_smt
+
+
+def test_tab_smt(benchmark):
+    result = once(benchmark, tab_smt)
+    print()
+    print(render(result))
+
+    # prefetching still pays under SMT
+    assert result.average("pms_vs_np") > 5
+    assert result.average("ms_vs_np") > 2
+    assert result.average("pms_vs_ps") > 0
+
+    # every focus benchmark individually gains from PMS
+    for bench, row in result.rows.items():
+        assert row["pms_vs_np"] > 0, bench

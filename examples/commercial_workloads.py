@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's headline scenario: prefetching low-spatial-locality
+commercial workloads.
+
+Commercial server workloads (OLTP, web, database) were traditionally
+considered un-prefetchable: most of their streams are one or two cache
+lines long.  This example reproduces the paper's Figure 7 argument on
+the five commercial benchmarks:
+
+* the Power5-style processor-side prefetcher (PS) — which needs two
+  misses to engage and then overshoots — gains little;
+* the memory-side ASD prefetcher (MS) — which can prefetch the second
+  line of a two-line stream and knows when to stop — beats it;
+* together (PMS) they deliver the paper's combined gains.
+
+Run:  python examples/commercial_workloads.py [accesses]
+"""
+
+import sys
+
+from repro import generate_trace, get_profile, make_config, simulate, suite_benchmarks
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+
+    rows = []
+    sums = [0.0, 0.0, 0.0]
+    for bench in suite_benchmarks("commercial"):
+        trace = generate_trace(get_profile(bench).workload, accesses, seed=1)
+        runs = {
+            name: simulate(make_config(name), trace)
+            for name in ("NP", "PS", "MS", "PMS")
+        }
+        ps = runs["PS"].gain_vs(runs["NP"])
+        ms = runs["MS"].gain_vs(runs["NP"])
+        pms = runs["PMS"].gain_vs(runs["NP"])
+        sums[0] += ps
+        sums[1] += ms
+        sums[2] += pms
+        rows.append([bench, ps, ms, pms])
+        print(f"{bench}: PS {ps:+.1f}%  MS {ms:+.1f}%  PMS {pms:+.1f}%")
+
+    n = len(rows)
+    rows.append(["Average", sums[0] / n, sums[1] / n, sums[2] / n])
+    print()
+    print(
+        format_table(
+            ["benchmark", "PS vs NP %", "MS vs NP %", "PMS vs NP %"],
+            rows,
+            title="Commercial workloads (paper Figure 7; paper averages: "
+            "MS +9.3%, PMS +15.1%)",
+        )
+    )
+    print()
+    if sums[1] > sums[0]:
+        print(
+            "=> memory-side ASD beats the processor-side prefetcher on "
+            "these short-stream workloads — the paper's key claim."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Design-space exploration with the public API.
+
+Sweeps the memory-side prefetcher's main design knobs on one workload —
+Prefetch Buffer size, Stream Filter slots, prefetch degree, and the
+scheduling policy — and prints a compact design table with speedups
+over the no-prefetch baseline and the hardware cost of each point.
+
+This is the workflow a practitioner would use to size the prefetcher
+for a new memory controller.
+
+Run:  python examples/design_space.py [benchmark]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import generate_trace, get_profile, make_config, simulate
+from repro.analysis.hardware import estimate_cost
+from repro.analysis.report import format_table
+
+
+def run_point(trace, label, mutate):
+    config = mutate(make_config("PMS"))
+    result = simulate(config, trace)
+    cost = estimate_cost(config.ms_prefetcher)
+    return label, result, cost
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "milc"
+    trace = generate_trace(get_profile(bench).workload, 12_000, seed=1)
+    baseline = simulate(make_config("NP"), trace)
+
+    points = []
+
+    def pb(entries):
+        def mutate(c):
+            ms = replace(
+                c.ms_prefetcher,
+                buffer=replace(
+                    c.ms_prefetcher.buffer,
+                    entries=entries,
+                    assoc=min(4, entries),
+                ),
+            )
+            return c.derive(ms_prefetcher=ms)
+
+        return mutate
+
+    def slots(n):
+        def mutate(c):
+            ms = replace(
+                c.ms_prefetcher,
+                stream_filter=replace(c.ms_prefetcher.stream_filter, slots=n),
+            )
+            return c.derive(ms_prefetcher=ms)
+
+        return mutate
+
+    def degree(d):
+        def mutate(c):
+            return c.derive(ms_prefetcher=replace(c.ms_prefetcher, degree=d))
+
+        return mutate
+
+    def policy(k):
+        def mutate(c):
+            ms = replace(
+                c.ms_prefetcher,
+                scheduling=replace(c.ms_prefetcher.scheduling, fixed_policy=k),
+            )
+            return c.derive(ms_prefetcher=ms)
+
+        return mutate
+
+    points.append(run_point(trace, "default (16 PB, 8 SF, d1, adaptive)", lambda c: c))
+    for entries in (8, 32):
+        points.append(run_point(trace, f"PB {entries} lines", pb(entries)))
+    for n in (4, 16):
+        points.append(run_point(trace, f"SF {n} slots", slots(n)))
+    for d in (2, 4):
+        points.append(run_point(trace, f"degree {d}", degree(d)))
+    for k in (1, 5):
+        points.append(run_point(trace, f"fixed policy {k}", policy(k)))
+
+    rows = []
+    for label, result, cost in points:
+        rows.append(
+            [
+                label,
+                baseline.cycles / result.cycles,
+                result.useful_prefetch_fraction * 100,
+                cost.total_state_bytes,
+            ]
+        )
+    print(
+        format_table(
+            ["design point", "speedup vs NP", "useful %", "state bytes"],
+            rows,
+            title=f"ASD design space on {bench}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark under the four configurations.
+
+Builds a synthetic GemsFDTD trace, runs the paper's four system
+configurations — NP (no prefetching), PS (processor-side only), MS
+(memory-side ASD only), and PMS (both) — and prints the performance
+gains plus the memory-side prefetcher's effectiveness metrics.
+
+Run:  python examples/quickstart.py [benchmark] [accesses]
+"""
+
+import sys
+
+from repro import generate_trace, get_profile, make_config, simulate
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "GemsFDTD"
+    accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
+
+    profile = get_profile(bench)
+    print(f"benchmark : {profile.name} ({profile.suite})")
+    print(f"           {profile.description}")
+    trace = generate_trace(profile.workload, accesses, seed=1)
+    print(
+        f"trace     : {len(trace)} accesses, {trace.unique_lines} unique "
+        f"lines, {trace.write_fraction * 100:.0f}% writes"
+    )
+    print()
+
+    results = {}
+    for name in ("NP", "PS", "MS", "PMS"):
+        results[name] = simulate(make_config(name), trace)
+        r = results[name]
+        print(
+            f"{name:<4} {r.cycles:>9} MC cycles   IPC {r.ipc:.3f}   "
+            f"DRAM reads {r.stats['dram.issued_reads']:.0f}"
+        )
+
+    np_run = results["NP"]
+    print()
+    print("performance gain over NP (paper Figure 5 style):")
+    for name in ("PS", "MS", "PMS"):
+        print(f"  {name:<4} {results[name].gain_vs(np_run):+6.1f}%")
+    print(f"  PMS vs PS: {results['PMS'].gain_vs(results['PS']):+6.1f}%")
+
+    pms = results["PMS"]
+    covered = pms.pb_hits + pms.stats.get("mc.merged_responses", 0)
+    reads = pms.stats.get("mc.reads_arrived", 1)
+    print()
+    print("memory-side prefetcher under PMS (paper Figure 13 style):")
+    print(f"  useful prefetches : {pms.useful_prefetch_fraction * 100:5.1f}%")
+    print(f"  coverage          : {covered / reads * 100:5.1f}%")
+    print(f"  delayed commands  : {pms.delayed_regular_fraction * 100:5.2f}%")
+
+    if pms.power and results["PS"].power:
+        print()
+        print("DRAM power/energy, PMS vs PS (paper Figure 8 style):")
+        print(f"  power increase    : {pms.power_increase_vs(results['PS']):+5.2f}%")
+        print(f"  energy reduction  : {pms.energy_reduction_vs(results['PS']):+5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

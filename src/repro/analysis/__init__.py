@@ -1,0 +1,28 @@
+"""Analysis: derived metrics, hardware cost accounting, and reports.
+
+* :mod:`repro.analysis.metrics` — suite-level aggregation of run
+  results (the numbers behind Figures 5-10 and 13).
+* :mod:`repro.analysis.hardware` — the Section 5.1 hardware-cost
+  accounting: state bits, comparators, and area/power estimates.
+* :mod:`repro.analysis.slh_accuracy` — Figure 16's comparison of the
+  finite-Stream-Filter SLH against the exact histogram.
+* :mod:`repro.analysis.report` — plain-text rendering of tables and
+  bar-series in the paper's layout.
+"""
+
+from repro.analysis.hardware import HardwareCost, estimate_cost
+from repro.analysis.metrics import ConfigComparison, SuiteResult, compare_runs
+from repro.analysis.slh_accuracy import exact_slh, slh_rms_error
+from repro.analysis.report import format_bar_chart, format_table
+
+__all__ = [
+    "ConfigComparison",
+    "HardwareCost",
+    "SuiteResult",
+    "compare_runs",
+    "estimate_cost",
+    "exact_slh",
+    "format_bar_chart",
+    "format_table",
+    "slh_rms_error",
+]

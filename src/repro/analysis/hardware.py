@@ -1,0 +1,120 @@
+"""Hardware-cost accounting for the memory-side prefetcher.
+
+Reproduces the Section 5.1 arithmetic: the prefetcher's storage is a
+few small per-thread tables plus one shared Prefetch Buffer and LPQ, so
+its area is a small fraction of the memory controller, which itself is
+1.61% of the Power5+ die.  The paper reports the extension as ~6.08% of
+the controller area, i.e. ~0.098% of the chip, and ~0.06% of chip
+power; we reproduce the accounting from the configured structure sizes,
+anchored to the same controller-area and power fractions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.config import MemorySidePrefetcherConfig
+
+#: Power5+ constants the paper anchors its estimates to.
+MC_FRACTION_OF_CHIP_AREA = 0.0161  # "about 1.61% of the entire chip area"
+MC_FRACTION_OF_CHIP_POWER = 0.01  # "about 1% of the chip's power"
+PAPER_MC_AREA_INCREASE = 0.0608  # "about 6.08%"
+PAPER_MC_POWER_INCREASE = 0.06  # "approximately 6%"
+
+#: Address-tag width assumed for line addresses held in prefetcher state.
+ADDR_BITS = 42
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """State and logic inventory of one memory-side prefetcher."""
+
+    stream_filter_bits: int
+    lht_bits: int
+    prefetch_buffer_bits: int
+    lpq_bits: int
+    comparators: int
+    threads: int
+
+    @property
+    def total_state_bits(self) -> int:
+        return (
+            self.stream_filter_bits
+            + self.lht_bits
+            + self.prefetch_buffer_bits
+            + self.lpq_bits
+        )
+
+    @property
+    def total_state_bytes(self) -> float:
+        return self.total_state_bits / 8
+
+    def mc_area_increase(self, paper_anchor_bits: int) -> float:
+        """MC-area increase, scaling the paper's 6.08% by state ratio.
+
+        ``paper_anchor_bits`` is the state-bit count of the paper's
+        configuration; the returned fraction equals the paper's for that
+        configuration and scales linearly for sweeps.
+        """
+        if paper_anchor_bits <= 0:
+            raise ValueError("anchor must be positive")
+        return PAPER_MC_AREA_INCREASE * self.total_state_bits / paper_anchor_bits
+
+    def chip_area_increase(self, paper_anchor_bits: int) -> float:
+        return self.mc_area_increase(paper_anchor_bits) * MC_FRACTION_OF_CHIP_AREA
+
+    def chip_power_increase(self, paper_anchor_bits: int) -> float:
+        return (
+            PAPER_MC_POWER_INCREASE
+            * (self.total_state_bits / paper_anchor_bits)
+            * MC_FRACTION_OF_CHIP_POWER
+        )
+
+
+def _counter_bits(epoch_reads: int, table_len: int) -> int:
+    """Width of one LHT entry: it must count up to epoch_reads * Lm."""
+    return max(1, math.ceil(math.log2(epoch_reads * table_len + 1)))
+
+
+def estimate_cost(
+    config: MemorySidePrefetcherConfig, threads: int = 1, line_bytes: int = 128
+) -> HardwareCost:
+    """Inventory the prefetcher's storage for a given configuration.
+
+    Per thread: a Stream Filter (address, length, direction, lifetime
+    per slot) and two Likelihood Tables per direction.  Shared: the
+    Prefetch Buffer (data + tags) and the LPQ.  Comparators: one per
+    adjacent LHTcurr pair, per direction, per thread (Section 3.4).
+    """
+    config.validate()
+    sf = config.stream_filter
+    slh = config.slh
+
+    length_bits = max(1, math.ceil(math.log2(slh.table_len + 1)))
+    lifetime_bits = max(1, math.ceil(math.log2(sf.lifetime_cap + 1)))
+    slot_bits = ADDR_BITS + length_bits + 1 + lifetime_bits
+    sf_bits = threads * sf.slots * slot_bits
+
+    cbits = _counter_bits(slh.epoch_reads, slh.table_len)
+    # two tables (curr/next) x two directions x Lm entries
+    lht_bits = threads * 2 * 2 * slh.table_len * cbits
+
+    pb_bits = config.buffer.entries * (line_bytes * 8 + ADDR_BITS + 1)
+    lpq_bits = config.lpq_depth * (ADDR_BITS + 16)
+
+    comparators = threads * 2 * (slh.table_len - 1)
+
+    return HardwareCost(
+        stream_filter_bits=sf_bits,
+        lht_bits=lht_bits,
+        prefetch_buffer_bits=pb_bits,
+        lpq_bits=lpq_bits,
+        comparators=comparators,
+        threads=threads,
+    )
+
+
+def paper_anchor_bits() -> int:
+    """State bits of the paper's evaluated configuration (Section 5.1)."""
+    return estimate_cost(MemorySidePrefetcherConfig(enabled=True), threads=1).total_state_bits

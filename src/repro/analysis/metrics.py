@@ -1,0 +1,96 @@
+"""Suite-level aggregation of run results.
+
+The paper reports per-benchmark bars plus arithmetic-mean "Average"
+bars (Figures 5-10); these helpers compute both from a mapping of
+``{benchmark: {config: RunResult}}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.system.results import RunResult
+
+
+@dataclass
+class ConfigComparison:
+    """One benchmark's gains between configurations (one figure bar group)."""
+
+    benchmark: str
+    pms_vs_np: float
+    ms_vs_np: float
+    pms_vs_ps: float
+
+
+@dataclass
+class SuiteResult:
+    """All comparisons of one suite plus the paper-style averages."""
+
+    suite: str
+    rows: List[ConfigComparison] = field(default_factory=list)
+
+    @property
+    def avg_pms_vs_np(self) -> float:
+        return _mean([r.pms_vs_np for r in self.rows])
+
+    @property
+    def avg_ms_vs_np(self) -> float:
+        return _mean([r.ms_vs_np for r in self.rows])
+
+    @property
+    def avg_pms_vs_ps(self) -> float:
+        return _mean([r.pms_vs_ps for r in self.rows])
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def compare_runs(
+    suite: str, runs: Mapping[str, Mapping[str, RunResult]]
+) -> SuiteResult:
+    """Build the Figure 5/6/7 comparisons from raw runs.
+
+    ``runs`` maps benchmark name to a dict holding at least the "NP",
+    "PS", "MS", and "PMS" results for the same trace.
+    """
+    result = SuiteResult(suite)
+    for benchmark, by_config in runs.items():
+        for required in ("NP", "PS", "MS", "PMS"):
+            if required not in by_config:
+                raise KeyError(f"{benchmark}: missing config {required!r}")
+        np_run = by_config["NP"]
+        result.rows.append(
+            ConfigComparison(
+                benchmark=benchmark,
+                pms_vs_np=by_config["PMS"].gain_vs(np_run),
+                ms_vs_np=by_config["MS"].gain_vs(np_run),
+                pms_vs_ps=by_config["PMS"].gain_vs(by_config["PS"]),
+            )
+        )
+    return result
+
+
+def power_energy_rows(
+    runs: Mapping[str, Mapping[str, RunResult]],
+    test_config: str = "PMS",
+    base_config: str = "PS",
+) -> List[Dict[str, float]]:
+    """Figure 8/9/10 rows: DRAM power increase and energy reduction.
+
+    Returns one dict per benchmark with keys ``benchmark``,
+    ``power_increase_pct`` and ``energy_reduction_pct``.
+    """
+    rows: List[Dict[str, float]] = []
+    for benchmark, by_config in runs.items():
+        test = by_config[test_config]
+        base = by_config[base_config]
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "power_increase_pct": test.power_increase_vs(base),
+                "energy_reduction_pct": test.energy_reduction_vs(base),
+            }
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness prints every reproduced figure as an ASCII table
+or horizontal bar chart in the paper's layout, so a terminal diff
+against EXPERIMENTS.md is enough to audit a reproduction run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Left-aligned text table; floats are rendered with one decimal."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            # small magnitudes (ratios) keep two decimals; big ones one
+            return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "%",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart (one labelled bar per entry)."""
+    if not values:
+        return title
+    peak = max_value if max_value is not None else max(
+        (abs(v) for v in values.values()), default=1.0
+    )
+    peak = peak or 1.0
+    label_w = max(len(k) for k in values)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(abs(value) / peak * width)))
+        out.append(f"{key.ljust(label_w)}  {value:+7.1f}{unit} |{bar}")
+    return "\n".join(out)

@@ -1,0 +1,115 @@
+"""Figure 16: how well the finite Stream Filter approximates the SLH.
+
+The filter-computed histogram differs from the exact one because only
+``slots`` streams can be tracked at once and because slot lifetimes can
+split long quiet streams.  ``exact_slh`` computes the ground-truth
+histogram of a read-address sequence with an *unbounded* stream tracker,
+and ``slh_rms_error`` quantifies the gap the paper shows to be small.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.prefetch.slh import slh_bars
+
+
+class _XStream:
+    __slots__ = ("last", "length", "step", "expiry")
+
+    def __init__(self, last: int, expiry: int) -> None:
+        self.last = last
+        self.length = 1
+        self.step = 0  # unknown until length 2
+        self.expiry = expiry
+
+
+def exact_slh(
+    lines: Sequence[int], table_len: int = 16, window: int = 64
+) -> List[float]:
+    """Ground-truth SLH bars of a read-address sequence.
+
+    Tracks *every* live stream (no slot limit).  A stream dies when no
+    read extends it within ``window`` subsequent reads — the unbounded
+    analogue of the hardware lifetime.  Returns bars in the format of
+    :func:`repro.prefetch.slh.slh_bars`: ``bars[i]`` is the fraction of
+    reads belonging to streams of exactly length ``i`` (the last bar
+    aggregates lengths >= Lm).
+    """
+    if table_len < 2:
+        raise ValueError("table_len must be >= 2")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+
+    lht = [0] * (table_len + 1)
+
+    def credit(stream: _XStream) -> None:
+        top = min(stream.length, table_len)
+        for i in range(1, top + 1):
+            lht[i] += stream.length
+
+    # expectation (next line that would extend the stream) -> stream;
+    # a length-1 stream registers both neighbours.
+    expect: Dict[int, _XStream] = {}
+    streams: List[_XStream] = []
+
+    def drop_expectations(stream: _XStream) -> None:
+        if stream.length == 1:
+            for key in (stream.last + 1, stream.last - 1):
+                if expect.get(key) is stream:
+                    del expect[key]
+        else:
+            key = stream.last + stream.step
+            if expect.get(key) is stream:
+                del expect[key]
+
+    def sweep(idx: int) -> None:
+        alive: List[_XStream] = []
+        for stream in streams:
+            if stream.expiry < idx:
+                drop_expectations(stream)
+                credit(stream)
+            else:
+                alive.append(stream)
+        streams[:] = alive
+
+    for idx, line in enumerate(lines):
+        if idx % 4096 == 0:
+            sweep(idx)
+        stream = expect.get(line)
+        if stream is not None and stream.expiry < idx:
+            drop_expectations(stream)
+            credit(stream)
+            streams.remove(stream)
+            stream = None
+        if stream is not None:
+            drop_expectations(stream)
+            stream.step = 1 if line > stream.last else -1
+            stream.last = line
+            stream.length += 1
+            stream.expiry = idx + window
+            expect[line + stream.step] = stream
+        else:
+            fresh = _XStream(line, idx + window)
+            streams.append(fresh)
+            expect[line + 1] = fresh
+            expect[line - 1] = fresh
+
+    for stream in streams:
+        credit(stream)
+    return slh_bars(lht, table_len)
+
+
+def slh_rms_error(approx: Sequence[float], exact: Sequence[float]) -> float:
+    """Root-mean-square difference between two SLH bar vectors.
+
+    Index 0 of each vector is the unused placeholder produced by
+    :func:`repro.prefetch.slh.slh_bars` and is excluded.
+    """
+    if len(approx) != len(exact):
+        raise ValueError("bar vectors must have equal length")
+    if len(approx) <= 1:
+        return 0.0
+    diffs = [(a - b) ** 2 for a, b in zip(approx[1:], exact[1:])]
+    return math.sqrt(sum(diffs) / len(diffs))

@@ -1,0 +1,22 @@
+"""Set-associative cache model and the Power5+ three-level hierarchy.
+
+Caches here are *contents-accurate, latency-abstract*: hits and misses,
+fills, dirty bits and evictions are modelled exactly; a hit's cost is the
+level's fixed latency.  That is the fidelity the paper's mechanisms need
+— the memory-side prefetcher only ever sees the post-cache read stream.
+"""
+
+from repro.cache.cache import Cache, Eviction
+from repro.cache.hierarchy import AccessResult, CacheHierarchy, Level
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy, TreePLRUPolicy
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheHierarchy",
+    "Eviction",
+    "Level",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "TreePLRUPolicy",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``      — benchmarks, suites, and configurations
+* ``run``       — simulate one benchmark under one configuration
+* ``compare``   — one benchmark under NP / PS / MS / PMS
+* ``suite``     — a whole suite (Figures 5/6/7 style table)
+* ``figure``    — regenerate one paper figure/table by id
+* ``trace``     — generate and save a synthetic trace
+* ``cost``      — the hardware-cost table (Section 5.1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
+from repro.workloads.profiles import BENCHMARKS, SUITES, get_profile
+from repro.workloads.synthetic import generate_trace
+
+#: figure/table id -> (module, entry function, render function) names
+FIGURES = {
+    "fig2": ("repro.experiments.slh_figures", "fig3_slh_phases", None),
+    "fig3": ("repro.experiments.slh_figures", "fig3_slh_phases", None),
+    "fig5": ("repro.experiments.performance", "fig5_spec", "render"),
+    "fig6": ("repro.experiments.performance", "fig6_nas", "render"),
+    "fig7": ("repro.experiments.performance", "fig7_commercial", "render"),
+    "fig8": ("repro.experiments.power", "fig8_power_spec", "render"),
+    "fig9": ("repro.experiments.power", "fig9_power_nas", "render"),
+    "fig10": ("repro.experiments.power", "fig10_power_commercial", "render"),
+    "fig11": ("repro.experiments.ablation", "fig11_ablation", "render"),
+    "fig12": ("repro.experiments.stream_lengths", "fig12_stream_lengths", "render"),
+    "fig13": ("repro.experiments.efficiency", "fig13_efficiency", "render"),
+    "fig14": ("repro.experiments.sensitivity", "fig14_buffer_size", "render"),
+    "fig15": ("repro.experiments.sensitivity", "fig15_filter_size", "render"),
+    "fig16": ("repro.experiments.slh_figures", "fig16_slh_accuracy", None),
+    "hardware": ("repro.experiments.hardware_cost", "tab_hardware_cost", "render"),
+    "smt": ("repro.experiments.smt", "tab_smt", "render"),
+    "scheduler": (
+        "repro.experiments.scheduler_interaction",
+        "tab_scheduler_interaction",
+        "render",
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Stream Detection reproduction (Hur & Lin, MICRO 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="benchmarks, suites, configurations")
+
+    def common(p):
+        p.add_argument("-n", "--accesses", type=int, default=15_000,
+                       help="trace length in memory accesses")
+        p.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="one benchmark, one configuration")
+    run.add_argument("-b", "--benchmark", required=True)
+    run.add_argument("-c", "--config", default="PMS")
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--scheduler", default="ahb",
+                     choices=("ahb", "memoryless", "in_order"))
+    run.add_argument("--json", action="store_true",
+                     help="emit the full result as JSON")
+    common(run)
+
+    compare = sub.add_parser("compare", help="NP/PS/MS/PMS on one benchmark")
+    compare.add_argument("-b", "--benchmark", required=True)
+    common(compare)
+
+    suite = sub.add_parser("suite", help="a whole suite (Figure 5/6/7 table)")
+    suite.add_argument("-s", "--suite", required=True, choices=sorted(SUITES))
+    common(suite)
+
+    figure = sub.add_parser("figure", help="regenerate one paper artifact")
+    figure.add_argument("id", choices=sorted(FIGURES))
+
+    trace = sub.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("-b", "--benchmark", required=True)
+    trace.add_argument("-o", "--output", required=True)
+    common(trace)
+
+    cost = sub.add_parser("cost", help="hardware cost table")
+    cost.add_argument("--threads", type=int, nargs="+", default=(1, 2, 4))
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("suites:")
+    for suite, names in SUITES.items():
+        print(f"  {suite}: {', '.join(names)}")
+    print()
+    print(f"configurations: {', '.join(CONFIG_NAMES)}")
+    print(f"ablations:      {', '.join(ABLATION_CONFIGS)}")
+    print("extensions:     ASD_PS, PMS_DEGREE<d>")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.system.simulator import simulate
+
+    profile = get_profile(args.benchmark)
+    traces = [
+        generate_trace(profile.workload, args.accesses, seed=args.seed + t)
+        for t in range(args.threads)
+    ]
+    config = make_config(args.config, threads=args.threads,
+                         scheduler=args.scheduler)
+    result = simulate(config, traces)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.summary())
+    print(f"  MC cycles          {result.cycles}")
+    print(f"  IPC                {result.ipc:.3f}")
+    print(f"  demand latency     {result.avg_read_latency():.1f} MC cycles")
+    print(
+        f"  DRAM reads/writes  {result.stats.get('dram.issued_reads', 0):.0f} / "
+        f"{result.stats.get('dram.issued_writes', 0):.0f}"
+    )
+    if result.stats.get("pb.inserts"):
+        print(f"  useful prefetches  {result.useful_prefetch_fraction * 100:.1f}%")
+        print(f"  coverage           {result.coverage * 100:.1f}%")
+    if result.power:
+        print(f"  DRAM energy        {result.power.energy_uj:.1f} uJ "
+              f"({result.power.avg_power_mw:.0f} mW avg)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.system.simulator import simulate
+
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+    results = {
+        name: simulate(make_config(name), trace) for name in CONFIG_NAMES
+    }
+    np_run = results["NP"]
+    rows = []
+    for name in CONFIG_NAMES:
+        r = results[name]
+        rows.append(
+            [name, r.cycles, r.gain_vs(np_run), r.avg_read_latency(),
+             r.coverage * 100]
+        )
+    print(
+        format_table(
+            ["config", "MC cycles", "gain vs NP %", "read lat", "coverage %"],
+            rows,
+            title=f"{args.benchmark} ({args.accesses} accesses)",
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    import os
+
+    os.environ["REPRO_TRACE_ACCESSES"] = str(args.accesses)
+    os.environ["REPRO_SEED"] = str(args.seed)
+    from repro.experiments.performance import performance_figure, render
+
+    print(render(performance_figure(args.suite)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+
+    module_name, func_name, render_name = FIGURES[args.id]
+    module = importlib.import_module(module_name)
+    if render_name is None:
+        module.main()
+        return 0
+    figure = getattr(module, func_name)()
+    print(getattr(module, render_name)(figure))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+    trace.save(args.output)
+    print(
+        f"wrote {len(trace)} records ({trace.unique_lines} unique lines, "
+        f"{trace.write_fraction * 100:.0f}% writes) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.experiments.hardware_cost import render, tab_hardware_cost
+
+    print(render(tab_hardware_cost(thread_counts=tuple(args.threads))))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "run": lambda: _cmd_run(args),
+        "compare": lambda: _cmd_compare(args),
+        "suite": lambda: _cmd_suite(args),
+        "figure": lambda: _cmd_figure(args),
+        "trace": lambda: _cmd_trace(args),
+        "cost": lambda: _cmd_cost(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Shared building blocks: command types, configuration, statistics.
+
+Everything in the simulator communicates through the small vocabulary
+defined here: :class:`~repro.common.types.MemoryCommand` objects flowing
+through queues, configuration dataclasses in :mod:`repro.common.config`,
+and the :class:`~repro.common.stats.Stats` counter bag.
+"""
+
+from repro.common.types import (
+    LINE_SIZE,
+    CommandKind,
+    Direction,
+    MemoryCommand,
+    Provenance,
+)
+from repro.common.stats import Stats
+
+__all__ = [
+    "LINE_SIZE",
+    "CommandKind",
+    "Direction",
+    "MemoryCommand",
+    "Provenance",
+    "Stats",
+]

@@ -1,0 +1,60 @@
+"""A tiny counter bag used by every simulated block.
+
+A :class:`Stats` object is a string-keyed accumulator of numeric values.
+Blocks bump counters as events happen; analysis code reads them at the
+end of a run.  Missing keys read as 0, so reporting code never needs
+``.get(..., 0)`` chains.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Stats:
+    """String-keyed numeric accumulator with namespacing support."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def bump(self, key: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``key``."""
+        self._values[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite counter ``key`` with ``value``."""
+        self._values[key] = value
+
+    def __getitem__(self, key: str) -> float:
+        return self._values.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters as a plain dict."""
+        return dict(self._values)
+
+    def merge(self, other: Mapping[str, float], prefix: str = "") -> None:
+        """Fold another stats mapping into this one, optionally prefixed."""
+        items = other.as_dict().items() if isinstance(other, Stats) else other.items()
+        for key, value in items:
+            self._values[prefix + key] += value
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters; 0.0 when the denominator is 0."""
+        denom = self._values.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._values.get(numerator, 0) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Stats({inner})"

@@ -1,0 +1,106 @@
+"""Core value types shared by every subsystem.
+
+The simulator works at *cache-line granularity*: every address handled by
+the memory controller, the caches, and the prefetcher is a line index
+(`byte_address // LINE_SIZE`).  The Power5+ uses 128-byte L2/L3 lines, so
+that is the line size used throughout.
+
+Two clock domains exist:
+
+* **CPU cycles** (2.132 GHz in the paper) — used by the core model and for
+  Stream Filter lifetimes.
+* **MC cycles** (the DDR2-533 bus clock, 266 MHz) — the master simulation
+  clock.  One MC cycle equals ``CoreConfig.cpu_ratio`` CPU cycles (8 by
+  default, since 2132 / 266 is approximately 8).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+#: Cache line size in bytes (Power5+ L2/L3 line size).
+LINE_SIZE = 128
+
+
+class CommandKind(enum.Enum):
+    """What a memory command asks the DRAM to do."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class Provenance(enum.Enum):
+    """Who generated a command.
+
+    At the memory controller, processor-side prefetches are
+    *indistinguishable* from demand reads (paper Section 3, Figure 1 note);
+    the provenance tag exists only for statistics and for identifying
+    memory-side prefetches, which really are treated differently (they sit
+    in the Low Priority Queue).
+    """
+
+    DEMAND = "demand"
+    PS_PREFETCH = "ps_prefetch"
+    MS_PREFETCH = "ms_prefetch"
+
+    @property
+    def is_regular(self) -> bool:
+        """True for commands the controller treats as regular traffic."""
+        return self is not Provenance.MS_PREFETCH
+
+
+class Direction(enum.Enum):
+    """Direction of a detected stream."""
+
+    ASCENDING = 1
+    DESCENDING = -1
+
+    @property
+    def step(self) -> int:
+        """Line-address delta of one stream step (+1 or -1)."""
+        return self.value
+
+
+_command_ids = itertools.count()
+
+
+@dataclass
+class MemoryCommand:
+    """One line-granularity command flowing through the memory controller.
+
+    Attributes:
+        kind: READ or WRITE.
+        line: line address (byte address // LINE_SIZE).
+        thread: hardware thread that generated the command.
+        provenance: demand, processor-side prefetch, or memory-side prefetch.
+        arrival: MC cycle at which the command entered the controller
+            (also the timestamp used by scheduling policy 5).
+        uid: unique, monotonically increasing id (tie-breaker / debugging).
+    """
+
+    kind: CommandKind
+    line: int
+    thread: int = 0
+    provenance: Provenance = Provenance.DEMAND
+    arrival: int = 0
+    uid: int = field(default_factory=lambda: next(_command_ids))
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is CommandKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is CommandKind.WRITE
+
+    @property
+    def is_ms_prefetch(self) -> bool:
+        return self.provenance is Provenance.MS_PREFETCH
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryCommand({self.kind.value}, line={self.line:#x}, "
+            f"t{self.thread}, {self.provenance.value}, arr={self.arrival})"
+        )

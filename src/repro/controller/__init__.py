@@ -1,0 +1,20 @@
+"""The Power5+-style memory controller (paper Figure 1 / Figure 4).
+
+Commands arrive into Read/Write **reorder queues**; a pluggable
+**scheduler** (in-order, memoryless/first-ready, or AHB) moves one
+command per cycle into the small FIFO **Centralized Arbiter Queue**;
+the **Final Scheduler** arbitrates between the CAQ and the prefetcher's
+Low Priority Queue under the active Adaptive Scheduling policy and
+issues to DRAM.
+"""
+
+from repro.controller.queues import CommandQueue, ReorderQueues
+from repro.controller.controller import MemoryController
+from repro.controller.schedulers import build_scheduler
+
+__all__ = [
+    "CommandQueue",
+    "MemoryController",
+    "ReorderQueues",
+    "build_scheduler",
+]

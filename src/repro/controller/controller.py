@@ -1,0 +1,292 @@
+"""The Power5+-style memory controller with the embedded MS prefetcher.
+
+Data path per MC cycle (paper Figures 1 and 4):
+
+1. completions whose data transfer finished are delivered;
+2. the **Final Scheduler** issues at most one command to DRAM, picking
+   between the CAQ head and the LPQ head under the active Adaptive
+   Scheduling policy — after re-checking the CAQ head against the
+   Prefetch Buffer (the paper's second check point);
+3. the **scheduler** moves at most one reorder-queue command into the
+   CAQ — reads are checked against the Prefetch Buffer first (the
+   paper's first check point) and squashed on a hit.
+
+Reads entering the controller are forked into the Stream Filter before
+any buffering, writes invalidate matching Prefetch Buffer entries, and
+conflicts between regular commands and in-flight prefetches are counted
+for Adaptive Scheduling and for Figure 13's "delayed regular commands".
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.common.config import ControllerConfig
+from repro.common.stats import Stats
+from repro.common.types import MemoryCommand, Provenance
+from repro.controller.queues import CommandQueue, ReorderQueues
+from repro.controller.schedulers import build_scheduler
+from repro.controller.schedulers.base import Scheduler
+from repro.dram.device import DRAMDevice
+from repro.prefetch.adaptive_scheduling import SchedulerView
+from repro.prefetch.memory_side import MemorySidePrefetcher
+
+#: Called with (cmd, now) when a read's data is available to the chip.
+ReadCallback = Callable[[MemoryCommand, int], None]
+
+
+class MemoryController:
+    """Reorder queues -> scheduler -> CAQ -> Final Scheduler -> DRAM."""
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        dram: DRAMDevice,
+        prefetcher: MemorySidePrefetcher,
+        cpu_ratio: int = 8,
+        on_read_complete: Optional[ReadCallback] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.dram = dram
+        self.ms = prefetcher
+        self.cpu_ratio = cpu_ratio
+        self.on_read_complete = on_read_complete
+        self.queues = ReorderQueues(config.read_queue_depth, config.write_queue_depth)
+        self.caq = CommandQueue(config.caq_depth, "CAQ")
+        self.scheduler: Scheduler = build_scheduler(config.scheduler)
+        self._completions: List[Tuple[int, int, MemoryCommand]] = []
+        self._conflict_counted: Set[int] = set()
+        self._delayed_counted: Set[int] = set()
+        # lines with a write queued (reorder queue or CAQ): reads to
+        # these lines are answered by store-forwarding, not DRAM
+        self._pending_write_lines: Counter = Counter()
+        self._now = 0
+        self.ms.on_merge_ready = self._merge_ready
+        self.stats = Stats()
+
+    # ------------------------------------------------------------------
+    # command entry
+    # ------------------------------------------------------------------
+    def can_accept_read(self) -> bool:
+        return not self.queues.reads.full
+
+    def can_accept_write(self) -> bool:
+        return not self.queues.writes.full
+
+    def enqueue(self, cmd: MemoryCommand, now: int) -> bool:
+        """Admit a command into the reorder queues; False means retry."""
+        if cmd.is_read:
+            if self.queues.reads.full:
+                self.stats.bump("read_rejects")
+                return False
+            cmd.arrival = now
+            self.stats.bump("reads_arrived")
+            if cmd.provenance is Provenance.PS_PREFETCH:
+                self.stats.bump("reads_ps")
+            else:
+                self.stats.bump("reads_demand")
+            # Figure 4: Reads fork into the Stream Filter on entry.
+            self.ms.observe_read(cmd, now, now * self.cpu_ratio)
+            self.queues.reads.push(cmd)
+            return True
+        if self.queues.writes.full:
+            self.stats.bump("write_rejects")
+            return False
+        cmd.arrival = now
+        self.stats.bump("writes_arrived")
+        self.ms.observe_write(cmd)
+        self.queues.writes.push(cmd)
+        self._pending_write_lines[cmd.line] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # per-cycle work
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        self._now = now
+        self._deliver_completions(now)
+        self.ms.tick(now * self.cpu_ratio)
+        self._final_scheduler(now)
+        self._reorder_to_caq(now)
+        # occupancy integrals: averages fall out as sum / ticks
+        self.stats.bump("ticks")
+        self.stats.bump("occ_read_queue", len(self.queues.reads))
+        self.stats.bump("occ_write_queue", len(self.queues.writes))
+        self.stats.bump("occ_caq", len(self.caq))
+        self.stats.bump("occ_lpq", len(self.ms.lpq))
+
+    def _deliver_completions(self, now: int) -> None:
+        while self._completions and self._completions[0][0] <= now:
+            _, _, cmd = heapq.heappop(self._completions)
+            if cmd.is_ms_prefetch:
+                self.ms.notify_complete(cmd)
+            elif cmd.is_read:
+                latency = now - cmd.arrival
+                self.stats.bump(f"lat_sum_{cmd.provenance.value}", latency)
+                self.stats.bump(f"lat_cnt_{cmd.provenance.value}")
+                if latency > self.stats[f"lat_max_{cmd.provenance.value}"]:
+                    self.stats.set(f"lat_max_{cmd.provenance.value}", latency)
+                # log2-bucketed histogram: bucket b counts latencies in
+                # [2^b, 2^(b+1)); bucket 0 holds 0- and 1-cycle responses
+                self.stats.bump(
+                    f"lat_hist_{cmd.provenance.value}_{max(latency, 1).bit_length() - 1}"
+                )
+                if self.on_read_complete is not None:
+                    self.on_read_complete(cmd, now)
+
+    def _respond_at(self, cmd: MemoryCommand, when: int) -> None:
+        heapq.heappush(self._completions, (when, cmd.uid, cmd))
+
+    def _merge_ready(self, cmd: MemoryCommand) -> None:
+        """A read merged with an in-flight prefetch got its data."""
+        self.stats.bump("merged_responses")
+        self._respond_at(cmd, self._now + self.config.overhead_mc_cycles)
+
+    # -- Final Scheduler ------------------------------------------------
+    def _final_scheduler(self, now: int) -> None:
+        # Second Prefetch Buffer check: the head of the CAQ may have been
+        # covered by a prefetch that completed while it sat in the queue.
+        while True:
+            head = self.caq.head()
+            if head is None or not head.is_read:
+                break
+            if self.ms.read_lookup(head.line):
+                self.caq.pop()
+                self.stats.bump("pb_hits_caq")
+                self.stats.bump(f"pb_hits_{head.provenance.value}")
+                self._respond_at(
+                    head,
+                    now
+                    + self.config.pb_hit_latency_mc
+                    + self.config.overhead_mc_cycles,
+                )
+            elif self.ms.try_merge(head):
+                self.caq.pop()
+                self.stats.bump("pb_merges_caq")
+                self.stats.bump(f"pb_merges_{head.provenance.value}")
+            else:
+                break
+
+        lpq = self.ms.lpq
+        caq_head = self.caq.head()
+        lpq_head = lpq.head()
+        if caq_head is None and lpq_head is None:
+            return
+
+        use_lpq = False
+        if self.ms.enabled and lpq_head is not None:
+            drain = len(self.queues.writes) >= self.config.write_drain_threshold
+            candidates = self.queues.candidates(drain)
+            view = SchedulerView(
+                caq_len=len(self.caq),
+                caq_head_arrival=caq_head.arrival if caq_head else None,
+                reorder_empty=self.queues.empty,
+                reorder_has_issuable=Scheduler.has_issuable(
+                    candidates, self.dram, now
+                ),
+                lpq_len=len(lpq),
+                lpq_full=lpq.full,
+                lpq_head_arrival=lpq_head.arrival,
+            )
+            use_lpq = self.ms.scheduler.allows_lpq(view)
+
+        source = lpq if use_lpq else self.caq
+        cmd = source.head()
+        if cmd is None:
+            return
+        result = self.dram.try_issue(cmd, now)
+        if result.accepted:
+            source.pop()
+            self.scheduler.notify_issue(cmd, self.dram)
+            self._respond_at(cmd, result.completion + self.config.overhead_mc_cycles)
+            if cmd.is_write:
+                count = self._pending_write_lines.get(cmd.line, 0)
+                if count <= 1:
+                    self._pending_write_lines.pop(cmd.line, None)
+                else:
+                    self._pending_write_lines[cmd.line] = count - 1
+            if cmd.is_ms_prefetch:
+                self.ms.notify_issue(cmd)
+                self.stats.bump("issued_prefetch")
+            else:
+                self.stats.bump("issued_regular")
+                self._delayed_counted.discard(cmd.uid)
+                self._conflict_counted.discard(cmd.uid)
+        elif (
+            result.blocked_by is Provenance.MS_PREFETCH
+            and not cmd.is_ms_prefetch
+            and cmd.uid not in self._delayed_counted
+        ):
+            # Figure 13: a regular command delayed by a memory-side prefetch.
+            self._delayed_counted.add(cmd.uid)
+            self.stats.bump("delayed_regular")
+
+    # -- reorder queues -> CAQ -------------------------------------------
+    def _reorder_to_caq(self, now: int) -> None:
+        if self.queues.empty:
+            return
+
+        # Adaptive Scheduling feedback: the oldest read being held off the
+        # CAQ by a bank occupied by an in-flight prefetch is a conflict.
+        head_read = self.queues.reads.head()
+        if (
+            self.ms.enabled
+            and head_read is not None
+            and head_read.uid not in self._conflict_counted
+            and self.dram.bank_holder(head_read.line, now) is Provenance.MS_PREFETCH
+        ):
+            self._conflict_counted.add(head_read.uid)
+            self.ms.scheduler.record_conflict()
+
+        if self.caq.full:
+            return
+        drain = len(self.queues.writes) >= self.config.write_drain_threshold
+        candidates = self.queues.candidates(drain)
+        cmd = self.scheduler.select(candidates, self.dram, now)
+        if cmd is None:
+            return
+        self.queues.remove(cmd)
+        if cmd.is_read:
+            if self._pending_write_lines.get(cmd.line, 0) > 0:
+                # read-after-write hazard: the freshest data for this
+                # line sits in the write queue — forward it
+                self.stats.bump("raw_forwards")
+                self._respond_at(
+                    cmd, now + self.config.overhead_mc_cycles
+                )
+                return
+            if self.ms.read_lookup(cmd.line):
+                # First Prefetch Buffer check: serve the read without DRAM.
+                self.stats.bump("pb_hits_pre_caq")
+                self.stats.bump(f"pb_hits_{cmd.provenance.value}")
+                self._respond_at(
+                    cmd,
+                    now
+                    + self.config.pb_hit_latency_mc
+                    + self.config.overhead_mc_cycles,
+                )
+                return
+            if self.ms.try_merge(cmd):
+                self.stats.bump("pb_merges_pre_caq")
+                self.stats.bump(f"pb_merges_{cmd.provenance.value}")
+                return
+        self.caq.push(cmd)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def idle(self) -> bool:
+        """Nothing queued or in flight anywhere (LPQ included)."""
+        return (
+            not self._completions
+            and self.queues.empty
+            and self.caq.empty
+            and len(self.ms.lpq) == 0
+        )
+
+    @property
+    def pb_hits(self) -> float:
+        return self.stats["pb_hits_pre_caq"] + self.stats["pb_hits_caq"]

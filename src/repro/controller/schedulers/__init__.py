@@ -1,0 +1,32 @@
+"""Reorder-queue schedulers: in-order, memoryless, and AHB.
+
+These are the three schedulers of the paper's Section 5.3 interaction
+study.  A scheduler picks which reorder-queue command advances into the
+CAQ each cycle; better schedulers extract more DRAM bandwidth, which in
+turn raises the headroom the prefetcher can exploit.
+"""
+
+from repro.controller.schedulers.base import Scheduler
+from repro.controller.schedulers.in_order import InOrderScheduler
+from repro.controller.schedulers.memoryless import MemorylessScheduler
+from repro.controller.schedulers.ahb import AHBScheduler
+
+
+def build_scheduler(name: str) -> Scheduler:
+    """Factory for the scheduler named in ``ControllerConfig.scheduler``."""
+    if name == "in_order":
+        return InOrderScheduler()
+    if name == "memoryless":
+        return MemorylessScheduler()
+    if name == "ahb":
+        return AHBScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+__all__ = [
+    "AHBScheduler",
+    "InOrderScheduler",
+    "MemorylessScheduler",
+    "Scheduler",
+    "build_scheduler",
+]

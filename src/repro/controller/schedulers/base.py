@@ -1,0 +1,41 @@
+"""Scheduler interface."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import MemoryCommand
+from repro.dram.device import DRAMDevice
+
+
+class Scheduler:
+    """Chooses which reorder-queue command enters the CAQ next.
+
+    ``select`` receives the candidate commands (already filtered for
+    write-drain policy by the controller), the DRAM device for readiness
+    queries, and the current cycle; it returns the chosen command or
+    None to idle.  ``notify_issue`` lets history-based schedulers learn
+    what actually went to DRAM.
+    """
+
+    def select(
+        self,
+        candidates: List[MemoryCommand],
+        dram: DRAMDevice,
+        now: int,
+    ) -> Optional[MemoryCommand]:
+        raise NotImplementedError
+
+    def notify_issue(self, cmd: MemoryCommand, dram: DRAMDevice) -> None:
+        """Observe a command issued to DRAM (optional)."""
+
+    @staticmethod
+    def has_issuable(
+        candidates: List[MemoryCommand], dram: DRAMDevice, now: int
+    ) -> bool:
+        """Does any candidate face no memory-system conflict right now?
+
+        This is the predicate behind Adaptive Scheduling policy 2
+        ("the Reorder queues have no issuable commands").
+        """
+        return any(dram.ready_now(cmd, now) for cmd in candidates)

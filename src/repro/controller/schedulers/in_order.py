@@ -1,0 +1,28 @@
+"""The in-order scheduler: strict arrival order, no reordering.
+
+The weakest scheduler of the Section 5.3 study.  Picking strictly by
+arrival regardless of bank readiness forfeits bank-level parallelism,
+so delivered DRAM bandwidth drops — and with it, prefetching headroom.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import MemoryCommand
+from repro.controller.schedulers.base import Scheduler
+from repro.dram.device import DRAMDevice
+
+
+class InOrderScheduler(Scheduler):
+    """Always selects the oldest command, ready or not."""
+
+    def select(
+        self,
+        candidates: List[MemoryCommand],
+        dram: DRAMDevice,
+        now: int,
+    ) -> Optional[MemoryCommand]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (c.arrival, c.uid))

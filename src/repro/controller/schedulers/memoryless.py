@@ -1,0 +1,38 @@
+"""The memoryless (first-ready) scheduler.
+
+Picks the oldest command that can start immediately — preferring open-row
+hits — and falls back to the oldest command when nothing is ready.  It
+exploits the current DRAM state but keeps no history of past decisions,
+hence "memoryless" (Hur & Lin, MICRO'04 terminology).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import MemoryCommand
+from repro.controller.schedulers.base import Scheduler
+from repro.dram.device import DRAMDevice
+
+
+class MemorylessScheduler(Scheduler):
+    """First-ready, row-hit-first selection."""
+
+    def select(
+        self,
+        candidates: List[MemoryCommand],
+        dram: DRAMDevice,
+        now: int,
+    ) -> Optional[MemoryCommand]:
+        if not candidates:
+            return None
+        best: Optional[MemoryCommand] = None
+        best_key = None
+        for cmd in candidates:
+            ready = dram.ready_now(cmd, now)
+            row_hit = ready and dram.is_row_hit(cmd.line)
+            # smaller key wins: ready first, then row hits, then age
+            key = (not ready, not row_hit, cmd.arrival, cmd.uid)
+            if best_key is None or key < best_key:
+                best, best_key = cmd, key
+        return best

@@ -1,0 +1,13 @@
+"""The first-order trace-driven core model (single-threaded and SMT).
+
+The core retires one instruction per CPU cycle while nothing blocks,
+overlaps up to ``CoreConfig.mlp`` outstanding demand line misses, and
+hosts the Power5-style processor-side prefetcher.  With several traces
+(SMT), the threads round-robin the pipeline, sharing the caches and the
+memory controller while the prefetcher state is replicated per thread —
+matching the paper's SMT experiments.
+"""
+
+from repro.cpu.core import Core
+
+__all__ = ["Core"]

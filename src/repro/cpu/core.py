@@ -1,0 +1,281 @@
+"""Trace-driven core with finite memory-level parallelism.
+
+Per MC cycle the core receives ``cpu_ratio`` CPU cycles, split evenly
+among hardware threads.  Each thread walks its trace: it consumes its
+instruction gap, performs the access against the cache hierarchy, and —
+on a miss to memory — sends a demand read to the memory controller,
+continuing until ``mlp`` line misses are outstanding.  Store misses
+allocate via write-validate and never block; dirty lines evicted from
+the L3 become DRAM writes.
+
+The processor-side prefetcher is driven from here: it observes demand
+L1 misses (and hits on lines it installed itself) and emits prefetch
+reads that the memory controller cannot distinguish from demand reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.config import CoreConfig
+from repro.common.stats import Stats
+from repro.common.types import CommandKind, MemoryCommand, Provenance
+from repro.cache.hierarchy import CacheHierarchy, Level
+from repro.controller.controller import MemoryController
+from repro.prefetch.processor_side import ProcessorSidePrefetcher
+from repro.workloads.trace import Trace
+
+
+class _ThreadContext:
+    __slots__ = (
+        "tid",
+        "records",
+        "idx",
+        "gap_cpu",
+        "stall_cpu",
+        "pending",
+        "retry_demand",
+        "writebacks",
+        "outstanding",
+        "blocked_mem",
+        "trace_done",
+    )
+
+    def __init__(self, tid: int, trace: Trace) -> None:
+        self.tid = tid
+        self.records = trace.records
+        self.idx = 0
+        self.gap_cpu = 0
+        self.stall_cpu = 0  # cache-hit latency: consumes time, retires nothing
+        self.pending = None  # (line, is_write) awaiting execution
+        self.retry_demand: Optional[MemoryCommand] = None
+        self.writebacks: Deque[int] = deque()
+        self.outstanding: set = set()
+        self.blocked_mem = False
+        self.trace_done = False
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self.trace_done
+            and self.pending is None
+            and self.retry_demand is None
+            and not self.outstanding
+            and not self.writebacks
+        )
+
+
+class Core:
+    """All hardware threads of one chip plus the PS prefetcher."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: CacheHierarchy,
+        ps: ProcessorSidePrefetcher,
+        controller: MemoryController,
+        traces: List[Trace],
+    ) -> None:
+        config.validate()
+        if not traces:
+            raise ValueError("need at least one trace")
+        self.config = config
+        self.hierarchy = hierarchy
+        self.ps = ps
+        self.controller = controller
+        self.contexts = [_ThreadContext(i, t) for i, t in enumerate(traces)]
+        self.budget_per_thread = max(1, config.cpu_ratio // len(traces))
+        # line -> contexts waiting for it (demand misses, incl. merges)
+        self._waiters: Dict[int, List[_ThreadContext]] = {}
+        # line -> to_l1 destination of an in-flight PS prefetch
+        self._ps_inflight: Dict[int, bool] = {}
+        self.retired_instructions = 0
+        self.stats = Stats()
+        controller.on_read_complete = self._on_read_complete
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return all(ctx.finished for ctx in self.contexts)
+
+    def tick(self, now: int) -> None:
+        for ctx in self.contexts:
+            self._run_thread(ctx, self.budget_per_thread, now)
+
+    # ------------------------------------------------------------------
+    def _run_thread(self, ctx: _ThreadContext, budget: int, now: int) -> None:
+        while budget > 0:
+            if ctx.blocked_mem:
+                self.stats.bump("stall_cycles_mem", budget)
+                return
+            if ctx.writebacks and not self._flush_writebacks(ctx, now):
+                self.stats.bump("stall_cycles_wb", budget)
+                return
+            if ctx.retry_demand is not None:
+                if not self._issue_demand(ctx, ctx.retry_demand, now):
+                    self.stats.bump("stall_cycles_queue", budget)
+                    return
+                ctx.retry_demand = None
+                if ctx.blocked_mem:
+                    return
+                continue
+            if ctx.stall_cpu > 0:
+                take = min(ctx.stall_cpu, budget)
+                ctx.stall_cpu -= take
+                budget -= take
+                continue
+            if ctx.gap_cpu > 0:
+                take = min(ctx.gap_cpu, budget)
+                ctx.gap_cpu -= take
+                budget -= take
+                self.retired_instructions += take
+                continue
+            if ctx.pending is not None:
+                budget -= 1
+                self._execute_access(ctx, now)
+                continue
+            if ctx.idx >= len(ctx.records):
+                ctx.trace_done = True
+                return
+            gap, line, is_write = ctx.records[ctx.idx]
+            ctx.idx += 1
+            ctx.gap_cpu += gap
+            ctx.pending = (line, is_write)
+            self.retired_instructions += 1  # the access itself
+
+    # ------------------------------------------------------------------
+    def _flush_writebacks(self, ctx: _ThreadContext, now: int) -> bool:
+        """Push pending dirty-eviction writes to the MC; False = stalled."""
+        while ctx.writebacks:
+            line = ctx.writebacks[0]
+            cmd = MemoryCommand(
+                CommandKind.WRITE, line, thread=ctx.tid, arrival=now
+            )
+            if not self.controller.enqueue(cmd, now):
+                return False
+            ctx.writebacks.popleft()
+        return True
+
+    def _execute_access(self, ctx: _ThreadContext, now: int) -> None:
+        line, is_write = ctx.pending
+        if line in ctx.outstanding:
+            # a second touch of a line already in flight: wait for it
+            ctx.blocked_mem = True
+            return
+        ctx.pending = None
+
+        result = self.hierarchy.access(line, is_write)
+        ctx.writebacks.extend(result.writebacks)
+
+        miss_to_memory = result.level is Level.MEMORY
+        if miss_to_memory and not is_write:
+            if line in self._ps_inflight or line in self._waiters:
+                # merge with the in-flight fetch of the same line
+                self._waiters.setdefault(line, []).append(ctx)
+                ctx.outstanding.add(line)
+                self.stats.bump("demand_merged")
+                if len(ctx.outstanding) >= self.config.mlp:
+                    ctx.blocked_mem = True
+            else:
+                cmd = MemoryCommand(
+                    CommandKind.READ, line, thread=ctx.tid, arrival=now
+                )
+                if not self._issue_demand(ctx, cmd, now):
+                    ctx.retry_demand = cmd
+        elif not is_write:
+            # cache hit: charge the level's latency as additional stall
+            ctx.stall_cpu += max(0, result.latency_cpu - 1)
+        # stores never stall the core beyond their 1 issue cycle
+
+        self._drive_ps(ctx, line, result.level, now)
+
+    def _issue_demand(self, ctx: _ThreadContext, cmd: MemoryCommand, now: int) -> bool:
+        if not self.controller.enqueue(cmd, now):
+            return False
+        self._waiters.setdefault(cmd.line, []).append(ctx)
+        ctx.outstanding.add(cmd.line)
+        self.stats.bump("demand_issued")
+        if len(ctx.outstanding) >= self.config.mlp:
+            ctx.blocked_mem = True
+        return True
+
+    # ------------------------------------------------------------------
+    def _drive_ps(self, ctx: _ThreadContext, line: int, level: Level, now: int) -> None:
+        if not self.ps.enabled:
+            return
+        requests = self.ps.observe(line, l1_hit=level is Level.L1)
+        for req in requests:
+            if req.line < 0:
+                continue
+            if req.line in self._ps_inflight or req.line in self._waiters:
+                self.stats.bump("ps_dropped_inflight")
+                continue
+            if self.hierarchy.cached_anywhere(req.line):
+                self.stats.bump("ps_dropped_cached")
+                continue
+            cmd = MemoryCommand(
+                CommandKind.READ,
+                req.line,
+                thread=ctx.tid,
+                provenance=Provenance.PS_PREFETCH,
+                arrival=now,
+            )
+            if self.controller.enqueue(cmd, now):
+                self._ps_inflight[req.line] = req.to_l1
+                self.stats.bump("ps_issued")
+            else:
+                self.stats.bump("ps_dropped_queue")
+
+    # ------------------------------------------------------------------
+    def _on_read_complete(self, cmd: MemoryCommand, now: int) -> None:
+        line = cmd.line
+        if cmd.provenance is Provenance.PS_PREFETCH:
+            to_l1 = self._ps_inflight.pop(line, True)
+            writebacks = self.hierarchy.fill_from_memory(line, to_l1=to_l1)
+            self.ps.notify_fill(line, to_l1)
+            self.stats.bump("ps_fills")
+        else:
+            writebacks = self.hierarchy.fill_from_memory(line, to_l1=True)
+            self.stats.bump("demand_fills")
+        if writebacks:
+            self.contexts[cmd.thread].writebacks.extend(writebacks)
+        for ctx in self._waiters.pop(line, ()):
+            ctx.outstanding.discard(line)
+            ctx.blocked_mem = False
+
+    # ------------------------------------------------------------------
+    # fast-forward support
+    # ------------------------------------------------------------------
+    def skippable_ticks(self) -> int:
+        """MC cycles that can be bulk-skipped because every active thread
+        is purely executing non-memory instructions.  0 = cannot skip."""
+        min_gap = None
+        for ctx in self.contexts:
+            if ctx.finished:
+                continue
+            # a pending access is fine while its gap is still running:
+            # the skip never reaches past the smallest remaining gap
+            if (
+                ctx.blocked_mem
+                or ctx.writebacks
+                or ctx.retry_demand is not None
+                or ctx.outstanding
+                or ctx.stall_cpu > 0
+                or ctx.gap_cpu <= 0
+            ):
+                return 0
+            if min_gap is None or ctx.gap_cpu < min_gap:
+                min_gap = ctx.gap_cpu
+        if min_gap is None:
+            return 0
+        return min_gap // self.budget_per_thread
+
+    def consume_bulk(self, ticks: int) -> None:
+        """Burn ``ticks`` MC cycles of pure instruction execution."""
+        cpu = ticks * self.budget_per_thread
+        for ctx in self.contexts:
+            if ctx.finished:
+                continue
+            ctx.gap_cpu -= cpu
+            self.retired_instructions += cpu

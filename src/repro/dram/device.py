@@ -1,0 +1,180 @@
+"""The DRAM device: address mapping, bank array, and the data bus.
+
+The controller's Final Scheduler calls :meth:`DRAMDevice.try_issue` with
+one :class:`~repro.common.types.MemoryCommand` per MC cycle at most; the
+device either accepts it — reserving the target bank and a data-bus slot
+and returning the completion cycle — or reports why it cannot start yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.config import DRAMConfig
+from repro.common.stats import Stats
+from repro.common.types import MemoryCommand, Provenance
+from repro.dram.bank import Bank
+from repro.dram.power import DRAMPowerModel
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Line address -> (bank index, row) mapping.
+
+    Consecutive lines interleave across all banks (banks of rank 0, then
+    rank 1, ...) so unit-stride streams spread over the whole bank array;
+    the row number advances once per full sweep of ``row_lines`` in each
+    bank.  This is the standard line-interleaved mapping for streaming
+    throughput.
+    """
+
+    total_banks: int
+    row_lines: int
+
+    def locate(self, line: int) -> Tuple[int, int]:
+        """Return (bank, row) for a line address.
+
+        Within a bank, each row holds ``row_lines`` of that bank's lines,
+        so a sequential stream stays row-open in every bank for
+        ``row_lines * total_banks`` consecutive line addresses.
+        """
+        bank = line % self.total_banks
+        row = (line // self.total_banks) // self.row_lines
+        return bank, row
+
+
+@dataclass
+class IssueResult:
+    """Outcome of a try_issue call."""
+
+    accepted: bool
+    completion: int = 0  # cycle at which data transfer finishes
+    blocked_by: Optional[Provenance] = None  # who holds the bank, if blocked
+
+
+class DRAMDevice:
+    """One memory channel: an array of banks sharing one data bus."""
+
+    #: maximum cycles of future bus reservation allowed at issue; keeps
+    #: the FIFO CAQ from burying the bus arbitrarily deep.
+    MAX_BUS_LEAD = 64
+
+    def __init__(self, config: DRAMConfig, power: Optional[DRAMPowerModel] = None):
+        config.validate()
+        self.config = config
+        self.timing = config.timing
+        self.amap = AddressMap(config.total_banks, config.row_lines)
+        closed = config.page_policy == "closed"
+        self.banks: List[Bank] = [
+            Bank(config.timing, auto_precharge=closed)
+            for _ in range(config.total_banks)
+        ]
+        self.bus_free_at = 0
+        self.power = power
+        # staggered per-rank refresh deadlines (0 = refresh disabled)
+        if config.timing.t_refi:
+            step = config.timing.t_refi // max(config.ranks, 1)
+            self._next_refresh = [
+                config.timing.t_refi + r * step for r in range(config.ranks)
+            ]
+        else:
+            self._next_refresh = []
+        self.stats = Stats()
+
+    # ------------------------------------------------------------------
+    # refresh
+    # ------------------------------------------------------------------
+    def _apply_refreshes(self, now: int) -> None:
+        """Catch up on any refresh deadlines that have passed.
+
+        Each due refresh blocks every bank of its rank for tRFC starting
+        at its deadline.  Applied lazily from try_issue, which is exact
+        enough: a refresh only matters when a command wants the rank.
+        """
+        if not self._next_refresh:
+            return
+        t = self.timing
+        bpr = self.config.banks_per_rank
+        for rank, deadline in enumerate(self._next_refresh):
+            while deadline <= now:
+                for bank in self.banks[rank * bpr : (rank + 1) * bpr]:
+                    bank.block_until(deadline + t.t_rfc)
+                deadline += t.t_refi
+                self.stats.bump("refreshes")
+            self._next_refresh[rank] = deadline
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def locate(self, line: int) -> Tuple[int, int]:
+        return self.amap.locate(line)
+
+    def is_row_hit(self, line: int) -> bool:
+        """Would this command hit an open row right now?"""
+        bank, row = self.amap.locate(line)
+        return self.banks[bank].row_hit(row)
+
+    def bank_holder(self, line: int, now: int) -> Optional[Provenance]:
+        """Provenance of the in-flight command holding the line's bank."""
+        bank, _ = self.amap.locate(line)
+        return self.banks[bank].holder_at(now)
+
+    def bank_busy(self, line: int, now: int) -> bool:
+        bank, _ = self.amap.locate(line)
+        return self.banks[bank].busy_at(now)
+
+    def ready_now(self, cmd: MemoryCommand, now: int) -> bool:
+        """Could this command start its column access without waiting on
+        the bank (row open or immediately openable) and find bus room?"""
+        bank_i, row = self.amap.locate(cmd.line)
+        bank = self.banks[bank_i]
+        if bank.busy_at(now):
+            return False
+        start = bank.access_start(row, now)
+        return start <= now + self.timing.t_rcd + self.timing.t_rp
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+    def try_issue(self, cmd: MemoryCommand, now: int) -> IssueResult:
+        """Attempt to start ``cmd`` at cycle ``now``.
+
+        The command is rejected when the target bank is still occupied by
+        an earlier in-flight access or when the data bus is reserved too
+        far into the future; otherwise the bank and a bus slot are
+        reserved and the completion cycle is returned.
+        """
+        self._apply_refreshes(now)
+        bank_i, row = self.amap.locate(cmd.line)
+        bank = self.banks[bank_i]
+        if bank.busy_at(now):
+            return IssueResult(False, blocked_by=bank.holder_at(now))
+        if self.bus_free_at > now + self.MAX_BUS_LEAD:
+            return IssueResult(False)
+
+        cas_at, activated = bank.reserve(row, now, cmd.is_write)
+        t = self.timing
+        lead = t.t_wl if cmd.is_write else t.t_cl
+        data_start = max(cas_at + lead, self.bus_free_at)
+        completion = data_start + t.burst_cycles
+        self.bus_free_at = completion
+        bank.hold(cmd.provenance, completion)
+
+        self.stats.bump("issued")
+        self.stats.bump("issued_writes" if cmd.is_write else "issued_reads")
+        if activated:
+            self.stats.bump("activations")
+        else:
+            self.stats.bump("row_hits")
+        if self.power is not None:
+            self.power.record_access(cmd.is_write, activated)
+        return IssueResult(True, completion=completion)
+
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of elapsed cycles the data bus transferred data."""
+        if elapsed <= 0:
+            return 0.0
+        busy = self.stats["issued"] * self.timing.burst_cycles
+        return min(1.0, busy / elapsed)

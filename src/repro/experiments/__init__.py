@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a pure function that computes the experiment's
+data (used by the benchmark suite and tests) plus a ``main()`` that
+prints the paper-style rows.  The shared :mod:`repro.experiments.runner`
+caches simulation runs so experiments that need the same
+(benchmark, config) pair — e.g. Figure 5 and Figure 8 — pay for it
+once per process.
+
+Experiment ids (see DESIGN.md Section 4):
+
+========================  =====================================
+``fig2_slh_example``      Figure 2 — SLH of one GemsFDTD epoch
+``fig3_slh_phases``       Figure 3 — SLH variation across epochs
+``fig5_spec``             Figure 5 — SPEC2006fp performance
+``fig6_nas``              Figure 6 — NAS performance
+``fig7_commercial``       Figure 7 — commercial performance
+``fig8_power_spec``       Figure 8 — SPEC DRAM power/energy
+``fig9_power_nas``        Figure 9 — NAS DRAM power/energy
+``fig10_power_commercial``  Figure 10 — commercial power/energy
+``fig11_ablation``        Figure 11 — ASD/scheduling ablation
+``fig12_stream_lengths``  Figure 12 — short streams dominate
+``fig13_efficiency``      Figure 13 — useful/coverage/delayed
+``fig14_buffer_size``     Figure 14 — Prefetch Buffer sweep
+``fig15_filter_size``     Figure 15 — Stream Filter sweep
+``fig16_slh_accuracy``    Figure 16 — SLH approximation accuracy
+``tab_hardware_cost``     Section 5.1 — hardware cost table
+``tab_smt``               Section 5.2 — SMT results
+``tab_scheduler_interaction``  Section 5.3 — scheduler interaction
+========================  =====================================
+"""
+
+from repro.experiments.runner import run, run_configs, run_suite
+
+__all__ = ["run", "run_configs", "run_suite"]

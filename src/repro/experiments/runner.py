@@ -1,0 +1,119 @@
+"""Shared experiment runner with per-process run caching.
+
+``run()`` simulates one (benchmark, config) pair deterministically;
+repeated calls with the same key return the cached result, so the
+benchmark suite can regenerate every figure without re-simulating the
+overlapping runs.
+
+Environment knobs:
+
+* ``REPRO_TRACE_ACCESSES`` — trace length per benchmark (default 20000;
+  raise for tighter statistics, lower for quick smoke runs).
+* ``REPRO_SEED`` — base RNG seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.system.presets import make_config
+from repro.system.results import RunResult
+from repro.system.simulator import simulate
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+
+def default_accesses() -> int:
+    """Trace length used when not specified (env-overridable)."""
+    return int(os.environ.get("REPRO_TRACE_ACCESSES", "20000"))
+
+
+def default_seed() -> int:
+    """Base RNG seed (env-overridable via REPRO_SEED)."""
+    return int(os.environ.get("REPRO_SEED", "1"))
+
+
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+_run_cache: Dict[Tuple, RunResult] = {}
+
+
+def get_trace(benchmark: str, accesses: Optional[int] = None, seed: Optional[int] = None) -> Trace:
+    """Deterministic trace for a named benchmark (cached)."""
+    accesses = accesses or default_accesses()
+    seed = default_seed() if seed is None else seed
+    key = (benchmark, accesses, seed)
+    if key not in _trace_cache:
+        profile = get_profile(benchmark)
+        _trace_cache[key] = generate_trace(profile.workload, accesses, seed=seed)
+    return _trace_cache[key]
+
+
+def run(
+    benchmark: str,
+    config_name: str,
+    accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+    threads: int = 1,
+    scheduler: str = "ahb",
+    mutate: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    mutate_key: Optional[str] = None,
+) -> RunResult:
+    """Simulate one benchmark under one named configuration (cached).
+
+    ``mutate`` applies a config transformation (e.g. a sensitivity-sweep
+    override); pass a distinct ``mutate_key`` to make such runs
+    cacheable, otherwise they bypass the cache.
+    """
+    accesses = accesses or default_accesses()
+    seed = default_seed() if seed is None else seed
+    key = (benchmark, config_name, accesses, seed, threads, scheduler, mutate_key)
+    cacheable = mutate is None or mutate_key is not None
+    if cacheable and key in _run_cache:
+        return _run_cache[key]
+
+    config = make_config(config_name, threads=threads, scheduler=scheduler)
+    if mutate is not None:
+        config = mutate(config)
+    if threads == 1:
+        traces = [get_trace(benchmark, accesses, seed)]
+    else:
+        traces = [
+            get_trace(benchmark, accesses, seed + t) for t in range(threads)
+        ]
+    result = simulate(config, traces)
+    if cacheable:
+        _run_cache[key] = result
+    return result
+
+
+def run_configs(
+    benchmark: str,
+    config_names: Iterable[str],
+    **kwargs,
+) -> Dict[str, RunResult]:
+    """Run one benchmark under several configurations."""
+    return {name: run(benchmark, name, **kwargs) for name in config_names}
+
+
+def run_suite(
+    benchmarks: Iterable[str],
+    config_names: Iterable[str] = ("NP", "PS", "MS", "PMS"),
+    **kwargs,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run several benchmarks under several configurations."""
+    config_names = tuple(config_names)
+    return {b: run_configs(b, config_names, **kwargs) for b in benchmarks}
+
+
+def clear_cache() -> None:
+    """Drop all cached traces and runs (tests use this for isolation)."""
+    _trace_cache.clear()
+    _run_cache.clear()
+
+
+def cache_info() -> Mapping[str, int]:
+    """Sizes of the trace and run caches (diagnostics)."""
+    return {"traces": len(_trace_cache), "runs": len(_run_cache)}

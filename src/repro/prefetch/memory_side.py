@@ -1,0 +1,184 @@
+"""The assembled memory-side prefetcher embedded in the controller.
+
+Wires together an engine (ASD / next-line / P5-style), the Prefetch
+Buffer, the Low Priority Queue, the in-flight prefetch tracker, the
+epoch counter shared with Adaptive Scheduling, and all the bookkeeping
+behind Figure 13 (useful prefetches / coverage / delayed commands).
+
+The controller drives it through four hooks:
+
+* :meth:`observe_read` when a Read enters the controller (Figure 4:
+  Reads are forked into the Stream Filter on entry);
+* :meth:`read_lookup` at both Prefetch Buffer check points;
+* :meth:`observe_write` on Write entry (coherence invalidation);
+* :meth:`notify_issue` / :meth:`notify_complete` as prefetch commands
+  leave the LPQ and return from DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.config import MemorySidePrefetcherConfig
+from repro.common.stats import Stats
+from repro.common.types import CommandKind, MemoryCommand, Provenance
+from repro.prefetch.adaptive_scheduling import AdaptiveScheduler
+from repro.prefetch.engines import ASDEngine, PrefetchEngine, build_engine
+from repro.prefetch.lpq import LowPriorityQueue
+from repro.prefetch.prefetch_buffer import PrefetchBuffer
+
+#: Callback: a regular read merged with an in-flight prefetch is ready.
+MergeCallback = Callable[[MemoryCommand], None]
+
+
+class MemorySidePrefetcher:
+    """Everything grey in the paper's Figure 4."""
+
+    def __init__(self, config: MemorySidePrefetcherConfig, threads: int = 1):
+        config.validate()
+        self.config = config
+        self.enabled = config.enabled
+        self.engine: PrefetchEngine = build_engine(config, threads)
+        self.buffer = PrefetchBuffer(config.buffer)
+        self.lpq = LowPriorityQueue(config.lpq_depth)
+        self.scheduler = AdaptiveScheduler(config.scheduling)
+        self.in_flight: Set[int] = set()
+        #: regular reads waiting on an in-flight prefetch of their line
+        self._merged: Dict[int, List[MemoryCommand]] = {}
+        #: in-flight prefetch lines invalidated by a write before arrival
+        self._cancelled: Set[int] = set()
+        #: set by the controller: delivers merged reads on completion
+        self.on_merge_ready: Optional[MergeCallback] = None
+        self._reads_this_epoch = 0
+        self.stats = Stats()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def observe_read(self, cmd: MemoryCommand, now_mc: int, now_cpu: int) -> None:
+        """Fork an entering Read into the stream-detection hardware."""
+        if not self.enabled:
+            return
+        self.stats.bump("reads_observed")
+        candidates = self.engine.observe_read(cmd.line, cmd.thread, now_cpu)
+        for line in candidates:
+            self._try_generate(line, cmd.thread, now_mc)
+        self._reads_this_epoch += 1
+        if self._reads_this_epoch >= self.config.slh.epoch_reads:
+            self._reads_this_epoch = 0
+            self.engine.epoch_flush()
+            self.scheduler.epoch_update()
+            self.stats.bump("epochs")
+
+    def _try_generate(self, line: int, thread: int, now_mc: int) -> None:
+        """Dedup a candidate line and place it in the LPQ."""
+        if line < 0:
+            return
+        if self.buffer.contains(line):
+            self.stats.bump("dropped_in_buffer")
+            return
+        if line in self.in_flight:
+            self.stats.bump("dropped_in_flight")
+            return
+        cmd = MemoryCommand(
+            CommandKind.READ,
+            line,
+            thread=thread,
+            provenance=Provenance.MS_PREFETCH,
+            arrival=now_mc,
+        )
+        if self.lpq.push(cmd):
+            self.stats.bump("generated")
+
+    def read_lookup(self, line: int) -> bool:
+        """Prefetch Buffer probe for a regular Read (consuming on hit).
+
+        Also squashes any still-queued prefetch of the same line — the
+        demand access has made it pointless.
+        """
+        if not self.enabled:
+            return False
+        self.lpq.drop_line(line)
+        if self.buffer.read_hit(line):
+            self.stats.bump("buffer_hits")
+            return True
+        return False
+
+    def try_merge(self, cmd: MemoryCommand) -> bool:
+        """Attach a regular Read to an in-flight prefetch of its line.
+
+        The controller tracks its in-flight commands, so a read whose
+        line is already being prefetched need not access DRAM twice: it
+        is held and answered when the prefetch data returns (this is the
+        limiting case of the paper's second Prefetch Buffer check, where
+        the prefetched data arrives 'while the Read command was resident
+        in the CAQ').
+        """
+        if not self.enabled or not cmd.is_read:
+            return False
+        if cmd.line not in self.in_flight or cmd.line in self._cancelled:
+            return False
+        self._merged.setdefault(cmd.line, []).append(cmd)
+        self.stats.bump("merged_reads")
+        return True
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def observe_write(self, cmd: MemoryCommand) -> None:
+        if not self.enabled:
+            return
+        self.buffer.invalidate(cmd.line)
+        self.lpq.drop_line(cmd.line)
+        if cmd.line in self.in_flight and cmd.line not in self._merged:
+            # the prefetched data will be stale on arrival: drop it
+            self._cancelled.add(cmd.line)
+
+    # ------------------------------------------------------------------
+    # issue/complete plumbing
+    # ------------------------------------------------------------------
+    def notify_issue(self, cmd: MemoryCommand) -> None:
+        self.in_flight.add(cmd.line)
+        self.stats.bump("issued")
+
+    def notify_complete(self, cmd: MemoryCommand) -> None:
+        self.in_flight.discard(cmd.line)
+        self.stats.bump("completed")
+        if cmd.line in self._cancelled:
+            self._cancelled.discard(cmd.line)
+            self.stats.bump("completed_cancelled")
+            return
+        self.buffer.insert(cmd.line)
+        merged = self._merged.pop(cmd.line, None)
+        if merged:
+            # the waiting read consumes the just-arrived line immediately
+            self.buffer.read_hit(cmd.line)
+            self.stats.bump("buffer_hits", len(merged))
+            if self.on_merge_ready is not None:
+                for waiting in merged:
+                    self.on_merge_ready(waiting)
+
+    def tick(self, now_cpu: int) -> None:
+        """Let the engine expire time-based state (Stream Filter slots)."""
+        if self.enabled:
+            self.engine.tick(now_cpu)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def useful_fraction(self) -> float:
+        """Figure 13's 'useful prefetches': buffer hits / lines fetched."""
+        return self.buffer.useful_fraction()
+
+    def coverage(self, total_reads: float) -> float:
+        """Figure 13's 'coverage': reads served by the Prefetch Buffer as
+        a fraction of all reads (including processor-side prefetches)."""
+        if total_reads <= 0:
+            return 0.0
+        return self.stats["buffer_hits"] / total_reads
+
+    def asd_tables(self) -> Optional[List]:
+        """Access the ASD likelihood tables (None for other engines)."""
+        if isinstance(self.engine, ASDEngine):
+            return self.engine.tables
+        return None

@@ -1,0 +1,22 @@
+"""Full-system composition: configuration presets and the simulator.
+
+:func:`~repro.system.presets.make_config` builds the paper's four
+evaluated configurations — NP (no prefetching), PS (processor-side
+only), MS (memory-side only), PMS (both) — plus the Figure 11 ablation
+variants.  :class:`~repro.system.simulator.System` wires a config and a
+set of traces into a runnable machine; :func:`~repro.system.simulator.
+simulate` is the one-call entry point.
+"""
+
+from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
+from repro.system.results import RunResult
+from repro.system.simulator import System, simulate
+
+__all__ = [
+    "ABLATION_CONFIGS",
+    "CONFIG_NAMES",
+    "RunResult",
+    "System",
+    "make_config",
+    "simulate",
+]

@@ -1,0 +1,116 @@
+"""The evaluated system configurations.
+
+Primary configurations (paper Section 5.2):
+
+* ``NP``  — no prefetching anywhere (the stripped-down Power5+ baseline);
+* ``PS``  — processor-side prefetching only (a typical Power5+);
+* ``MS``  — the memory-side ASD prefetcher only;
+* ``PMS`` — both (the paper's headline configuration).
+
+Figure 11 ablation variants (all include the PS prefetcher, as the
+figure's PMS context does):
+
+* ``PMS_POLICY<k>`` — ASD with scheduling policy pinned to k in 1..5;
+* ``PMS_NEXTLINE`` — next-line engine in the MC + adaptive scheduling;
+* ``PMS_P5MC``     — P5-style engine in the MC + adaptive scheduling.
+
+Extensions (described by the paper but not evaluated there):
+
+* ``PMS_DEGREE<d>`` — multi-line prefetching via inequality (6);
+* ``ASD_PS``        — ASD driving the controller with **no**
+  processor-side prefetcher, the "apply ASD as the only prefetcher"
+  future-work configuration;
+* ``PS_ASD``        — the future-work idea taken literally: Adaptive
+  Stream Detection *as* the processor-side prefetcher (no memory-side
+  prefetcher), see :mod:`repro.prefetch.asd_processor_side`;
+* ``PMS_ASDPS``     — ASD on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.common.config import (
+    AdaptiveSchedulingConfig,
+    MemorySidePrefetcherConfig,
+    ProcessorSidePrefetcherConfig,
+    SystemConfig,
+)
+
+#: The paper's four primary configurations.
+CONFIG_NAMES = ("NP", "PS", "MS", "PMS")
+
+#: The Figure 11 bar order (first bar is plain PMS = ASD + adaptive).
+ABLATION_CONFIGS = (
+    "PMS",
+    "PMS_POLICY1",
+    "PMS_POLICY2",
+    "PMS_POLICY3",
+    "PMS_POLICY4",
+    "PMS_POLICY5",
+    "PMS_NEXTLINE",
+    "PMS_P5MC",
+)
+
+
+def make_config(
+    name: str,
+    threads: int = 1,
+    scheduler: str = "ahb",
+    base: Optional[SystemConfig] = None,
+) -> SystemConfig:
+    """Build a named system configuration.
+
+    ``threads`` > 1 replicates the per-thread prefetcher state (Stream
+    Filter and LHTs) as the paper does for SMT, leaving the Prefetch
+    Buffer size unchanged.  ``scheduler`` selects the reorder-queue
+    scheduler for the Section 5.3 interaction study.
+    """
+    cfg = (base or SystemConfig()).derive(name=name, threads=threads)
+    cfg = cfg.derive(controller=replace(cfg.controller, scheduler=scheduler))
+
+    ms_on = replace(cfg.ms_prefetcher, enabled=True, engine="asd")
+    ps_on = replace(cfg.ps_prefetcher, enabled=True)
+    ms_off = replace(cfg.ms_prefetcher, enabled=False)
+    ps_off = replace(cfg.ps_prefetcher, enabled=False)
+
+    if name == "NP":
+        return cfg.derive(ms_prefetcher=ms_off, ps_prefetcher=ps_off).validate()
+    if name == "PS":
+        return cfg.derive(ms_prefetcher=ms_off, ps_prefetcher=ps_on).validate()
+    if name == "MS":
+        return cfg.derive(ms_prefetcher=ms_on, ps_prefetcher=ps_off).validate()
+    if name == "PMS":
+        return cfg.derive(ms_prefetcher=ms_on, ps_prefetcher=ps_on).validate()
+    if name == "ASD_PS":
+        return cfg.derive(ms_prefetcher=ms_on, ps_prefetcher=ps_off).validate()
+    if name == "PS_ASD":
+        ps = replace(ps_on, engine="asd")
+        return cfg.derive(ms_prefetcher=ms_off, ps_prefetcher=ps).validate()
+    if name == "PMS_ASDPS":
+        ps = replace(ps_on, engine="asd")
+        return cfg.derive(ms_prefetcher=ms_on, ps_prefetcher=ps).validate()
+
+    if name.startswith("PMS_POLICY"):
+        policy = int(name[len("PMS_POLICY"):])
+        ms = replace(
+            ms_on,
+            scheduling=replace(ms_on.scheduling, fixed_policy=policy),
+        )
+        return cfg.derive(ms_prefetcher=ms, ps_prefetcher=ps_on).validate()
+
+    if name == "PMS_NEXTLINE":
+        ms = replace(ms_on, engine="nextline")
+        return cfg.derive(ms_prefetcher=ms, ps_prefetcher=ps_on).validate()
+
+    if name == "PMS_P5MC":
+        ms = replace(ms_on, engine="p5")
+        return cfg.derive(ms_prefetcher=ms, ps_prefetcher=ps_on).validate()
+
+    if name.startswith("PMS_DEGREE"):
+        degree = int(name[len("PMS_DEGREE"):])
+        ms = replace(ms_on, degree=degree)
+        return cfg.derive(ms_prefetcher=ms, ps_prefetcher=ps_on).validate()
+
+    raise ValueError(f"unknown configuration {name!r}")

@@ -1,0 +1,120 @@
+"""The cycle-stepped full-system simulator.
+
+One :class:`System` binds together the core(s), the cache hierarchy,
+the processor-side prefetcher, the memory controller with its embedded
+memory-side prefetcher, the DRAM device, and the DRAM power model, and
+steps them in the MC (DDR bus) clock domain until every trace has been
+consumed and the memory system has drained.
+
+A bulk fast-forward kicks in whenever the memory system is idle and all
+threads are executing pure instruction gaps, so compute-bound phases
+cost O(1) instead of O(cycles).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.cache.hierarchy import CacheHierarchy
+from repro.controller.controller import MemoryController
+from repro.cpu.core import Core
+from repro.dram.device import DRAMDevice
+from repro.dram.power import DRAMPowerModel
+from repro.prefetch.asd_processor_side import build_processor_side
+from repro.prefetch.memory_side import MemorySidePrefetcher
+from repro.system.results import RunResult
+from repro.workloads.trace import Trace
+
+#: Hard cap so a mis-configured run fails loudly instead of spinning.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+class System:
+    """A fully wired simulated machine, runnable once."""
+
+    def __init__(self, config: SystemConfig, traces: Union[Trace, Sequence[Trace]]):
+        if isinstance(traces, Trace):
+            traces = [traces]
+        traces = list(traces)
+        config = config.derive(threads=len(traces)).validate()
+        self.config = config
+        self.power_model = DRAMPowerModel(config.dram, config.dram_power)
+        self.dram = DRAMDevice(config.dram, power=self.power_model)
+        self.ms = MemorySidePrefetcher(config.ms_prefetcher, threads=len(traces))
+        self.controller = MemoryController(
+            config.controller,
+            self.dram,
+            self.ms,
+            cpu_ratio=config.core.cpu_ratio,
+        )
+        self.hierarchy = CacheHierarchy(config.hierarchy)
+        self.ps = build_processor_side(config.ps_prefetcher)
+        self.core = Core(config.core, self.hierarchy, self.ps, self.controller, traces)
+        self.traces = traces
+        self.now = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
+        """Simulate to completion and return the measured result."""
+        if self._ran:
+            raise RuntimeError("a System instance runs exactly once")
+        self._ran = True
+
+        while not (self.core.done and self.controller.idle()):
+            self.controller.tick(self.now)
+            self.core.tick(self.now)
+            self.now += 1
+            if self.now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles; "
+                    "likely a deadlock or runaway configuration"
+                )
+            # bulk-skip pure-compute stretches while memory is idle
+            if self.controller.idle():
+                skip = self.core.skippable_ticks()
+                if skip > 1:
+                    self.core.consume_bulk(skip - 1)
+                    self.now += skip - 1
+
+        return self._collect()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> RunResult:
+        stats = Stats()
+        stats.merge(self.controller.stats, "mc.")
+        stats.merge(self.dram.stats, "dram.")
+        stats.merge(self.ms.stats, "ms.")
+        engine_stats = getattr(self.ms.engine, "stats", None)
+        if engine_stats is not None:
+            stats.merge(engine_stats, "engine.")
+        stats.merge(self.ms.buffer.stats, "pb.")
+        stats.merge(self.ms.lpq.stats, "lpq.")
+        stats.merge(self.ms.scheduler.stats, "sched.")
+        stats.merge(self.hierarchy.stats, "mem.")
+        stats.merge(self.hierarchy.l1.stats, "l1.")
+        stats.merge(self.hierarchy.l2.stats, "l2.")
+        stats.merge(self.hierarchy.l3.stats, "l3.")
+        stats.merge(self.core.stats, "core.")
+        stats.merge(self.ps.stats, "ps.")
+        stats.set("sched.final_policy", self.ms.scheduler.policy)
+        return RunResult(
+            config_name=self.config.name,
+            benchmark=self.traces[0].name,
+            cycles=self.now,
+            instructions=self.core.retired_instructions,
+            cpu_ratio=self.config.core.cpu_ratio,
+            stats=stats.as_dict(),
+            power=self.power_model.finalize(self.now),
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    traces: Union[Trace, Sequence[Trace]],
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> RunResult:
+    """Build a :class:`System` from ``config`` and run it on ``traces``."""
+    return System(config, traces).run(max_cycles=max_cycles)

@@ -1,0 +1,34 @@
+"""Workloads: the trace format, the synthetic generator, and profiles.
+
+The paper drives its simulator with execution traces of SPEC2006fp, NAS
+class B, and five proprietary IBM commercial workloads.  Those traces
+are not available, so this package synthesises line-granularity memory
+traces whose *memory-controller-visible* properties — stream-length
+mixture, direction mix, interleaving, arrival density, read/write mix —
+are controlled per benchmark (see DESIGN.md, substitution table).
+"""
+
+from repro.workloads.trace import Trace, TraceRecord
+from repro.workloads.synthetic import StreamWorkload, WorkloadPhase, generate_trace
+from repro.workloads.profiles import (
+    BENCHMARKS,
+    FOCUS_BENCHMARKS,
+    SUITES,
+    BenchmarkProfile,
+    get_profile,
+    suite_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "FOCUS_BENCHMARKS",
+    "SUITES",
+    "StreamWorkload",
+    "Trace",
+    "TraceRecord",
+    "WorkloadPhase",
+    "generate_trace",
+    "get_profile",
+    "suite_benchmarks",
+]

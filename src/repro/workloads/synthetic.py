@@ -1,0 +1,225 @@
+"""Synthetic stream-mixture workload generator.
+
+Generates line-granularity traces whose memory-controller-visible
+behaviour is controlled directly:
+
+* ``length_dist`` — the distribution of *stream lengths* (a stream is a
+  run of consecutive cache lines, exactly the paper's definition);
+* ``interleave`` — how many streams are live concurrently, which is
+  what the Stream Filter has to untangle (Figure 16's accuracy lever);
+* ``hot_fraction`` / ``hot_lines`` — temporal locality: accesses to a
+  small hot set that the caches absorb, controlling memory intensity
+  together with ``gap_mean``;
+* ``descending_fraction`` — streams walking downward in the address
+  space;
+* ``write_fraction`` — stores, which produce DRAM writes through dirty
+  evictions;
+* ``phases`` — coarse program phases with different stream mixtures,
+  producing the epoch-to-epoch SLH variation of Figure 3.
+
+Cold stream data comes from a bump allocator over a huge footprint, so
+streaming lines always miss the cache hierarchy — matching the paper's
+memory-intensive workloads whose streams are compulsory-miss traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.trace import Trace
+
+#: Line-address region where the hot (cache-resident) set lives.
+HOT_BASE = 1 << 30
+#: Start of the cold streaming region.
+COLD_BASE = 1 << 34
+#: Random spacing added between consecutively allocated stream regions.
+REGION_SLACK = 48
+
+
+@dataclass
+class WorkloadPhase:
+    """A program phase: a weight and parameter overrides for it."""
+
+    weight: float
+    length_dist: Optional[Dict[int, float]] = None
+    gap_mean: Optional[float] = None
+    hot_fraction: Optional[float] = None
+
+
+@dataclass
+class StreamWorkload:
+    """Parameter set for one synthetic benchmark."""
+
+    name: str = "synthetic"
+    length_dist: Dict[int, float] = field(default_factory=lambda: {1: 0.3, 2: 0.4, 4: 0.3})
+    gap_mean: float = 20.0
+    hot_fraction: float = 0.3
+    hot_lines: int = 2048
+    write_fraction: float = 0.12
+    descending_fraction: float = 0.15
+    interleave: int = 4
+    #: probability that the next cold access continues the same stream as
+    #: the previous one (loops sweep one region at a time; higher values
+    #: mean burstier, easier-to-track streams at the controller)
+    burstiness: float = 0.5
+    phases: Sequence[WorkloadPhase] = ()
+    #: accesses per full cycle through the phase list; phases alternate
+    #: in rounds (so SLH epochs see genuinely different phases over time)
+    phase_round: int = 6000
+
+    def validate(self) -> None:
+        if not self.length_dist:
+            raise ValueError("length_dist must not be empty")
+        if any(length < 1 for length in self.length_dist):
+            raise ValueError("stream lengths must be >= 1")
+        if any(weight < 0 for weight in self.length_dist.values()):
+            raise ValueError("length weights must be non-negative")
+        if sum(self.length_dist.values()) <= 0:
+            raise ValueError("length weights must sum to a positive value")
+        if not 0 <= self.hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 0 <= self.write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0 <= self.descending_fraction <= 1:
+            raise ValueError("descending_fraction must be in [0, 1]")
+        if not 0 <= self.burstiness <= 1:
+            raise ValueError("burstiness must be in [0, 1]")
+        if self.interleave < 1:
+            raise ValueError("interleave must be >= 1")
+        if self.gap_mean < 0:
+            raise ValueError("gap_mean must be non-negative")
+
+    def with_overrides(self, phase: WorkloadPhase) -> "StreamWorkload":
+        """This workload with a phase's overrides applied."""
+        changes = {}
+        if phase.length_dist is not None:
+            changes["length_dist"] = phase.length_dist
+        if phase.gap_mean is not None:
+            changes["gap_mean"] = phase.gap_mean
+        if phase.hot_fraction is not None:
+            changes["hot_fraction"] = phase.hot_fraction
+        return replace(self, phases=(), **changes)
+
+
+class _Stream:
+    __slots__ = ("next", "step", "remaining", "is_write")
+
+    def __init__(
+        self, next_line: int, step: int, remaining: int, is_write: bool
+    ) -> None:
+        self.next = next_line
+        self.step = step
+        self.remaining = remaining
+        self.is_write = is_write
+
+
+class _Allocator:
+    """Bump allocator handing out non-overlapping cold stream regions."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._cursor = COLD_BASE
+
+    def region(self, length: int) -> int:
+        base = self._cursor
+        self._cursor += length + self._rng.randrange(8, REGION_SLACK)
+        return base
+
+
+def _sample_length(rng: random.Random, dist: Dict[int, float]) -> int:
+    lengths = list(dist.keys())
+    weights = list(dist.values())
+    return rng.choices(lengths, weights=weights, k=1)[0]
+
+
+def _sample_gap(rng: random.Random, mean: float) -> int:
+    if mean <= 0:
+        return 0
+    return int(-mean * math.log(max(rng.random(), 1e-12)))
+
+
+def _generate_segment(
+    cfg: StreamWorkload,
+    count: int,
+    rng: random.Random,
+    alloc: _Allocator,
+    active: List[_Stream],
+    records: List[Tuple[int, int, bool]],
+) -> None:
+    last_stream: Optional[_Stream] = None
+    for _ in range(count):
+        if rng.random() < cfg.hot_fraction:
+            line = HOT_BASE + rng.randrange(cfg.hot_lines)
+            is_write = rng.random() < cfg.write_fraction
+        else:
+            while len(active) < cfg.interleave:
+                length = _sample_length(rng, cfg.length_dist)
+                descending = rng.random() < cfg.descending_fraction
+                # streams are load streams or store streams wholesale:
+                # real codes sweep input and output arrays separately, so
+                # a store never punches a hole in a read stream at the MC
+                writes = rng.random() < cfg.write_fraction
+                base = alloc.region(length)
+                if descending:
+                    active.append(_Stream(base + length - 1, -1, length, writes))
+                else:
+                    active.append(_Stream(base, 1, length, writes))
+            if last_stream in active and rng.random() < cfg.burstiness:
+                stream = last_stream
+            else:
+                stream = active[rng.randrange(len(active))]
+            last_stream = stream
+            line = stream.next
+            stream.next += stream.step
+            stream.remaining -= 1
+            is_write = stream.is_write
+            if stream.remaining == 0:
+                active.remove(stream)
+        records.append((_sample_gap(rng, cfg.gap_mean), line, is_write))
+
+
+def generate_trace(
+    workload: StreamWorkload, n_accesses: int, seed: int = 0
+) -> Trace:
+    """Generate a deterministic trace of ``n_accesses`` records.
+
+    With ``workload.phases`` set, the trace is split into contiguous
+    segments proportional to the phase weights, each generated with that
+    phase's overrides (live streams carry across the boundary, like a
+    real phase change mid-loop-nest).
+    """
+    workload.validate()
+    if n_accesses <= 0:
+        raise ValueError("n_accesses must be positive")
+    # crc32, not hash(): Python string hashing is randomised per process
+    # and would silently break cross-process reproducibility
+    rng = random.Random(seed ^ zlib.crc32(workload.name.encode()))
+    alloc = _Allocator(rng)
+    active: List[_Stream] = []
+    records: List[Tuple[int, int, bool]] = []
+
+    if workload.phases:
+        total_weight = sum(p.weight for p in workload.phases)
+        if total_weight <= 0:
+            raise ValueError("phase weights must sum to a positive value")
+        if workload.phase_round <= 0:
+            raise ValueError("phase_round must be positive")
+        remaining = n_accesses
+        while remaining > 0:
+            for phase in workload.phases:
+                count = int(round(workload.phase_round * phase.weight / total_weight))
+                count = min(max(count, 1), remaining)
+                _generate_segment(
+                    workload.with_overrides(phase), count, rng, alloc, active, records
+                )
+                remaining -= count
+                if remaining <= 0:
+                    break
+    else:
+        _generate_segment(workload, n_accesses, rng, alloc, active, records)
+
+    return Trace(records, name=workload.name)

@@ -1,0 +1,72 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "spec2006fp" in out
+        assert "PMS" in out
+        assert "commercial" in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "-b", "tonto", "-c", "PMS", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "MC cycles" in out
+        assert "useful prefetches" in out
+
+    def test_run_np_has_no_prefetch_metrics(self, capsys):
+        assert main(["run", "-b", "tonto", "-c", "NP", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "useful prefetches" not in out
+
+    def test_run_smt(self, capsys):
+        assert main(
+            ["run", "-b", "tonto", "-c", "PMS", "-n", "1500", "--threads", "2"]
+        ) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "-b", "quake4", "-n", "1000"])
+
+
+class TestCompare:
+    def test_four_rows(self, capsys):
+        assert main(["compare", "-b", "tonto", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("NP", "PS", "MS", "PMS"):
+            assert name in out
+
+
+class TestTrace:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        assert main(["trace", "-b", "tonto", "-o", str(path), "-n", "500"]) == 0
+        assert "wrote 500 records" in capsys.readouterr().out
+        from repro.workloads.trace import Trace
+
+        assert len(Trace.load(str(path))) == 500
+
+
+class TestCost:
+    def test_cost_table(self, capsys):
+        assert main(["cost", "--threads", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MC area" in out
+
+
+class TestFigure:
+    def test_figure_hardware(self, capsys):
+        assert main(["figure", "hardware"]) == 0
+        assert "Hardware cost" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,62 @@
+"""Integration tests: the three MC engines' traffic signatures.
+
+The Figure 11 story in traffic terms: next-line issues the most
+prefetches, ASD suppresses where the histogram says stop, and the
+P5-style engine cannot touch the second line of any stream.
+"""
+
+import pytest
+
+from repro import generate_trace, get_profile, make_config, simulate
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = generate_trace(get_profile("GemsFDTD").workload, 6000, seed=17)
+    return {
+        name: simulate(make_config(name), trace)
+        for name in ("PMS", "PMS_NEXTLINE", "PMS_P5MC", "PS")
+    }
+
+
+class TestTrafficSignatures:
+    def test_nextline_issues_most(self, runs):
+        nl = runs["PMS_NEXTLINE"].stats["ms.issued"]
+        asd = runs["PMS"].stats["ms.issued"]
+        p5 = runs["PMS_P5MC"].stats["ms.issued"]
+        assert nl > asd
+        assert nl > p5
+
+    def test_asd_suppression_visible(self, runs):
+        asd = runs["PMS"]
+        assert asd.stats["engine.suppressed"] > 0
+
+    def test_all_engines_produce_buffer_hits(self, runs):
+        for name in ("PMS", "PMS_NEXTLINE", "PMS_P5MC"):
+            assert runs[name].stats["pb.read_hits"] > 0, name
+
+    def test_every_engine_beats_ps_alone_or_ties(self, runs):
+        ps_cycles = runs["PS"].cycles
+        for name in ("PMS", "PMS_NEXTLINE"):
+            assert runs[name].cycles <= ps_cycles * 1.02, name
+
+    def test_asd_more_efficient_than_nextline(self, runs):
+        # equal-or-better performance per prefetch issued
+        asd = runs["PMS"]
+        nl = runs["PMS_NEXTLINE"]
+        asd_eff = asd.stats["pb.read_hits"] / asd.stats["ms.issued"]
+        nl_eff = nl.stats["pb.read_hits"] / nl.stats["ms.issued"]
+        assert asd_eff > nl_eff
+
+    def test_dram_reads_ordering(self, runs):
+        # more prefetch waste = more DRAM reads for the same demand
+        assert (
+            runs["PMS_NEXTLINE"].stats["dram.issued_reads"]
+            >= runs["PMS"].stats["dram.issued_reads"]
+        )
+
+    def test_energy_follows_traffic(self, runs):
+        assert (
+            runs["PMS_NEXTLINE"].power.burst_energy_uj
+            >= runs["PMS"].power.burst_energy_uj
+        )

@@ -1,0 +1,104 @@
+"""Scenario tests encoding the paper's own worked examples.
+
+Section 1: "on a workload in which every stream is of length 2, a
+[two-miss-confirm] policy would successfully prefetch the second cache
+line of each stream, but each successful prefetch would be followed by
+a useless prefetch, so 50% of its prefetches would be useless" — while
+ASD "can predict when to stop prefetching without incurring a useless
+prefetch".
+"""
+
+import pytest
+
+from repro import Trace, make_config, simulate
+from repro.workloads.synthetic import StreamWorkload, generate_trace
+
+
+@pytest.fixture(scope="module")
+def length2_trace():
+    """Every stream exactly two lines; no noise, no writes."""
+    wl = StreamWorkload(
+        name="len2",
+        length_dist={2: 1.0},
+        gap_mean=20,
+        hot_fraction=0.0,
+        write_fraction=0.0,
+        descending_fraction=0.0,
+        interleave=2,
+        burstiness=0.5,
+    )
+    return generate_trace(wl, 6000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def runs(length2_trace):
+    return {
+        name: simulate(make_config(name), length2_trace)
+        for name in ("NP", "MS", "PMS_NEXTLINE")
+    }
+
+
+class TestLengthTwoWorkload:
+    def test_asd_prefetches_only_second_lines(self, runs):
+        """ASD learns the all-length-2 histogram: prefetch at k=1, stop
+        at k=2 — so (after the first epoch) usefulness approaches 100%,
+        far above the 50% a stop-on-useless prefetcher is doomed to."""
+        ms = runs["MS"]
+        assert ms.useful_prefetch_fraction > 0.85
+
+    def test_nextline_wastes_about_half(self, runs):
+        """Next-line prefetches after *every* read: the one after the
+        second line of each stream is useless -> ~50% useful."""
+        nl = runs["PMS_NEXTLINE"]
+        assert 0.35 < nl.useful_prefetch_fraction < 0.65
+
+    def test_asd_covers_second_lines(self, runs):
+        """Roughly half of all reads are second lines; ASD should cover
+        most of them (minus the first training epoch)."""
+        ms = runs["MS"]
+        covered = ms.pb_hits + ms.stats.get("mc.merged_responses", 0)
+        reads = ms.stats["mc.reads_arrived"]
+        assert covered / reads > 0.30
+
+    def test_asd_outperforms_np(self, runs):
+        assert runs["MS"].gain_vs(runs["NP"]) > 10
+
+    def test_asd_issues_half_the_prefetches_of_nextline(self, runs):
+        asd_issued = runs["MS"].stats["ms.issued"]
+        nl_issued = runs["PMS_NEXTLINE"].stats["ms.issued"]
+        assert asd_issued < 0.7 * nl_issued
+
+
+class TestLengthOneWorkload:
+    def test_asd_goes_quiet_on_random_traffic(self):
+        """All streams length 1: the histogram says 'never continue',
+        so ASD must issue (almost) nothing after warm-up."""
+        wl = StreamWorkload(
+            name="len1",
+            length_dist={1: 1.0},
+            gap_mean=20,
+            hot_fraction=0.0,
+            write_fraction=0.0,
+            interleave=2,
+            burstiness=0.0,
+        )
+        trace = generate_trace(wl, 5000, seed=7)
+        ms = simulate(make_config("MS"), trace)
+        reads = ms.stats["mc.reads_arrived"]
+        assert ms.stats.get("ms.generated", 0) < 0.05 * reads
+
+    def test_nextline_cannot_go_quiet(self):
+        wl = StreamWorkload(
+            name="len1",
+            length_dist={1: 1.0},
+            gap_mean=20,
+            hot_fraction=0.0,
+            write_fraction=0.0,
+            interleave=2,
+            burstiness=0.0,
+        )
+        trace = generate_trace(wl, 5000, seed=7)
+        nl = simulate(make_config("PMS_NEXTLINE"), trace)
+        reads = nl.stats["mc.reads_arrived"]
+        assert nl.stats.get("ms.generated", 0) > 0.5 * reads
+        assert nl.useful_prefetch_fraction < 0.1

@@ -1,0 +1,58 @@
+"""Integration tests: refresh and page-policy options in full runs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import generate_trace, get_profile, make_config, simulate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("milc").workload, 3000, seed=13)
+
+
+def with_refresh(config, t_refi=400, t_rfc=34):
+    timing = replace(config.dram.timing, t_refi=t_refi, t_rfc=t_rfc)
+    return config.derive(dram=replace(config.dram, timing=timing))
+
+
+def with_page_policy(config, policy):
+    return config.derive(dram=replace(config.dram, page_policy=policy))
+
+
+class TestRefresh:
+    def test_refresh_slows_execution(self, trace):
+        base = simulate(make_config("NP"), trace)
+        refreshed = simulate(with_refresh(make_config("NP")), trace)
+        assert refreshed.cycles > base.cycles
+        assert refreshed.stats["dram.refreshes"] > 0
+
+    def test_refresh_overhead_is_modest(self, trace):
+        # tRFC/tREFI = 34/400 bounds the theoretical slowdown at ~9%
+        base = simulate(make_config("NP"), trace)
+        refreshed = simulate(with_refresh(make_config("NP")), trace)
+        assert refreshed.cycles < base.cycles * 1.15
+
+    def test_prefetching_still_works_with_refresh(self, trace):
+        np_run = simulate(with_refresh(make_config("NP")), trace)
+        pms = simulate(with_refresh(make_config("PMS")), trace)
+        assert pms.cycles < np_run.cycles
+
+
+class TestPagePolicy:
+    def test_closed_page_kills_row_hits(self, trace):
+        closed = simulate(with_page_policy(make_config("NP"), "closed"), trace)
+        assert closed.stats.get("dram.row_hits", 0) == 0
+
+    def test_open_page_faster_on_streams(self, trace):
+        open_run = simulate(with_page_policy(make_config("NP"), "open"), trace)
+        closed = simulate(with_page_policy(make_config("NP"), "closed"), trace)
+        # streaming workloads love open rows
+        assert open_run.cycles <= closed.cycles
+        assert open_run.stats["dram.row_hits"] > 0
+
+    def test_prefetching_gains_survive_closed_page(self, trace):
+        np_run = simulate(with_page_policy(make_config("NP"), "closed"), trace)
+        pms = simulate(with_page_policy(make_config("PMS"), "closed"), trace)
+        assert pms.cycles < np_run.cycles

@@ -1,0 +1,43 @@
+"""Smoke matrix: every named configuration simulates every workload
+character without deadlock or accounting violations."""
+
+import pytest
+
+from repro import generate_trace, get_profile, make_config, simulate
+from repro.system.presets import ABLATION_CONFIGS
+
+ALL_CONFIGS = (
+    "NP", "PS", "MS", "PMS",
+    *[c for c in ABLATION_CONFIGS if c != "PMS"],
+    "PMS_DEGREE2", "ASD_PS", "PS_ASD", "PMS_ASDPS",
+)
+
+CHARACTERS = {
+    "streaming": "lbm",
+    "short-stream": "GemsFDTD",
+    "commercial": "tpcc",
+    "compute-bound": "gamess",
+}
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        label: generate_trace(get_profile(name).workload, 1500, seed=31)
+        for label, name in CHARACTERS.items()
+    }
+
+
+@pytest.mark.parametrize("config_name", ALL_CONFIGS)
+@pytest.mark.parametrize("character", sorted(CHARACTERS))
+def test_config_runs_clean(config_name, character, traces):
+    trace = traces[character]
+    result = simulate(make_config(config_name), trace, max_cycles=2_000_000)
+    # completed, accounted, and self-consistent
+    assert result.cycles > 0
+    assert result.instructions == trace.instructions
+    stats = result.stats
+    assert stats.get("pb.read_hits", 0) <= stats.get("pb.inserts", 0)
+    regular = stats.get("mc.issued_regular", 0)
+    prefetch = stats.get("mc.issued_prefetch", 0)
+    assert stats.get("dram.issued", 0) == regular + prefetch

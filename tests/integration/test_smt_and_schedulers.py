@@ -1,0 +1,84 @@
+"""Integration tests: SMT behaviour and scheduler interplay."""
+
+import pytest
+
+from repro import generate_trace, get_profile, make_config, simulate
+
+ACCESSES = 3000
+
+
+@pytest.fixture(scope="module")
+def pair():
+    wl = get_profile("milc").workload
+    return [
+        generate_trace(wl, ACCESSES, seed=21),
+        generate_trace(wl, ACCESSES, seed=22),
+    ]
+
+
+class TestSMT:
+    def test_two_threads_complete_all_instructions(self, pair):
+        result = simulate(make_config("PMS", threads=2), pair)
+        assert result.instructions == sum(t.instructions for t in pair)
+
+    def test_smt_slower_than_single_thread_each(self, pair):
+        # two threads sharing the machine take longer than either alone
+        single = simulate(make_config("NP"), pair[0])
+        both = simulate(make_config("NP", threads=2), pair)
+        assert both.cycles > single.cycles
+
+    def test_smt_prefetching_still_helps(self, pair):
+        np_run = simulate(make_config("NP", threads=2), pair)
+        pms = simulate(make_config("PMS", threads=2), pair)
+        assert pms.cycles < np_run.cycles
+
+    def test_smt_deterministic(self, pair):
+        a = simulate(make_config("PMS", threads=2), pair)
+        b = simulate(make_config("PMS", threads=2), pair)
+        assert a.cycles == b.cycles
+
+    def test_threads_config_auto_set_from_traces(self, pair):
+        result = simulate(make_config("PMS"), pair)  # threads inferred
+        assert result.instructions == sum(t.instructions for t in pair)
+
+
+class TestSchedulers:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(get_profile("milc").workload, 4000, seed=5)
+
+    def test_all_schedulers_complete(self, trace):
+        for scheduler in ("ahb", "memoryless", "in_order"):
+            result = simulate(make_config("NP", scheduler=scheduler), trace)
+            assert result.cycles > 0
+
+    def test_scheduler_quality_ordering(self, trace):
+        cycles = {
+            s: simulate(make_config("NP", scheduler=s), trace).cycles
+            for s in ("ahb", "memoryless", "in_order")
+        }
+        # better schedulers never lose, in-order is the weakest
+        assert cycles["ahb"] <= cycles["in_order"]
+        assert cycles["memoryless"] <= cycles["in_order"]
+
+    def test_prefetch_gain_under_every_scheduler(self, trace):
+        for scheduler in ("ahb", "memoryless", "in_order"):
+            np_run = simulate(make_config("NP", scheduler=scheduler), trace)
+            pms = simulate(make_config("PMS", scheduler=scheduler), trace)
+            assert pms.cycles < np_run.cycles
+
+
+class TestTraceReplay:
+    def test_saved_trace_reproduces_simulation(self, tmp_path):
+        from repro.workloads.trace import Trace
+
+        wl = get_profile("tonto").workload
+        original = generate_trace(wl, 2000, seed=9)
+        path = tmp_path / "t.trace"
+        original.save(str(path))
+        replayed = Trace.load(str(path), name=original.name)
+
+        a = simulate(make_config("PMS"), original)
+        b = simulate(make_config("PMS"), replayed)
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats

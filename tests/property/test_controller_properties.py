@@ -1,0 +1,114 @@
+"""Property-based tests: the controller under random command streams.
+
+Feeds arbitrary interleavings of reads/writes (with the memory-side
+prefetcher enabled) and checks end-to-end invariants: every accepted
+read is answered exactly once, the controller always drains, write
+forwarding never loses commands, and DRAM never sees a line fetched
+twice concurrently for the same demand.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    ControllerConfig,
+    DRAMConfig,
+    MemorySidePrefetcherConfig,
+)
+from repro.common.types import CommandKind, MemoryCommand
+from repro.controller.controller import MemoryController
+from repro.dram.device import DRAMDevice
+from repro.prefetch.memory_side import MemorySidePrefetcher
+
+command_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # line
+        st.booleans(),  # is_write
+        st.integers(min_value=0, max_value=6),  # arrival gap
+    ),
+    max_size=60,
+)
+
+
+def drive(spec, engine="nextline"):
+    dram = DRAMDevice(DRAMConfig())
+    ms = MemorySidePrefetcher(
+        MemorySidePrefetcherConfig(enabled=True, engine=engine), threads=1
+    )
+    completed = []
+    mc = MemoryController(
+        ControllerConfig(),
+        dram,
+        ms,
+        on_read_complete=lambda cmd, now: completed.append(cmd),
+    )
+    now = 0
+    accepted_reads = 0
+    for line, is_write, gap in spec:
+        now += gap
+        kind = CommandKind.WRITE if is_write else CommandKind.READ
+        cmd = MemoryCommand(kind, line)
+        while not mc.enqueue(cmd, now):
+            mc.tick(now)
+            now += 1
+        if not is_write:
+            accepted_reads += 1
+    guard = 0
+    while not mc.idle():
+        mc.tick(now)
+        now += 1
+        guard += 1
+        assert guard < 50_000, "controller failed to drain"
+    return mc, completed, accepted_reads
+
+
+@given(command_stream)
+@settings(max_examples=40, deadline=None)
+def test_every_read_answered_exactly_once(spec):
+    mc, completed, accepted_reads = drive(spec)
+    assert len(completed) == accepted_reads
+    # each read object answered once
+    assert len({c.uid for c in completed}) == len(completed)
+
+
+@given(command_stream)
+@settings(max_examples=40, deadline=None)
+def test_drains_with_asd_engine(spec):
+    mc, completed, accepted_reads = drive(spec, engine="asd")
+    assert len(completed) == accepted_reads
+
+
+@given(command_stream)
+@settings(max_examples=40, deadline=None)
+def test_no_pending_write_lines_after_drain(spec):
+    mc, _, _ = drive(spec)
+    assert not mc._pending_write_lines
+
+
+@given(command_stream)
+@settings(max_examples=40, deadline=None)
+def test_dram_traffic_bounded(spec):
+    """DRAM never issues more than regular commands + prefetches, and
+    every regular command either issued, forwarded, or was served by
+    the Prefetch Buffer / merge."""
+    mc, _, accepted_reads = drive(spec)
+    writes = mc.stats["writes_arrived"]
+    served = (
+        mc.stats["issued_regular"]
+        + mc.pb_hits
+        + mc.stats["raw_forwards"]
+        + mc.stats["merged_responses"]
+    )
+    assert served == accepted_reads + writes
+    assert mc.stats["issued_prefetch"] <= mc.stats["ms.generated"] if "ms.generated" in mc.stats else True
+
+
+@given(command_stream)
+@settings(max_examples=40, deadline=None)
+def test_prefetcher_accounting_balances(spec):
+    mc, _, _ = drive(spec)
+    ms = mc.ms
+    # every generated prefetch was issued, squashed, or still nothing
+    assert ms.stats["issued"] == ms.stats["completed"]
+    assert not ms.in_flight
+    assert ms.buffer.occupancy <= ms.buffer.config.entries

@@ -1,0 +1,104 @@
+"""Property-based tests for the Likelihood Tables / SLH algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SLHConfig
+from repro.prefetch.slh import LikelihoodTables, slh_bars
+
+lengths = st.lists(st.integers(min_value=1, max_value=40), min_size=0, max_size=60)
+
+
+def tables_for(stream_lengths, table_len=16):
+    t = LikelihoodTables(SLHConfig(table_len=table_len, epoch_reads=100_000))
+    for length in stream_lengths:
+        t.record_stream(length)
+    return t
+
+
+@given(lengths)
+def test_lht_monotone_non_increasing(stream_lengths):
+    """lht(i) >= lht(i+1): a read in a stream of length >= i+1 is also
+    in a stream of length >= i."""
+    t = tables_for(stream_lengths)
+    for i in range(1, t.lm):
+        assert t.next[i] >= t.next[i + 1]
+
+
+@given(lengths)
+def test_lht1_equals_total_reads(stream_lengths):
+    """lht(1) counts every read."""
+    t = tables_for(stream_lengths)
+    assert t.next[1] == sum(stream_lengths)
+
+
+@given(lengths)
+def test_bars_sum_to_one(stream_lengths):
+    t = tables_for(stream_lengths)
+    bars = slh_bars(t.next, t.lm)
+    if stream_lengths:
+        assert abs(sum(bars[1:]) - 1.0) < 1e-9
+    else:
+        assert sum(bars[1:]) == 0
+
+
+@given(lengths)
+def test_bars_non_negative(stream_lengths):
+    t = tables_for(stream_lengths)
+    assert all(b >= 0 for b in slh_bars(t.next, t.lm))
+
+
+@given(lengths)
+def test_bar_reconstruction(stream_lengths):
+    """bars[i] * total = reads belonging to streams of exactly length i
+    (with the last bar aggregating >= Lm)."""
+    t = tables_for(stream_lengths)
+    total = sum(stream_lengths)
+    if total == 0:
+        return
+    bars = slh_bars(t.next, t.lm)
+    for i in range(1, t.lm):
+        expected = sum(l for l in stream_lengths if l == i)
+        assert abs(bars[i] * total - expected) < 1e-6
+    tail = sum(l for l in stream_lengths if l >= t.lm)
+    assert abs(bars[t.lm] * total - tail) < 1e-6
+
+
+@given(lengths, lengths)
+def test_rollover_conserves_next_into_curr(first_epoch, second_epoch):
+    t = tables_for(first_epoch)
+    snapshot = list(t.next)
+    t.rollover()
+    assert t.curr == snapshot
+    assert all(v == 0 for v in t.next)
+
+
+@given(lengths)
+def test_decrement_saturates_at_zero(stream_lengths):
+    """LHTcurr never goes negative regardless of eviction pattern."""
+    t = tables_for([])
+    t.rollover()
+    for length in stream_lengths:
+        t.record_stream(length)
+    assert all(v >= 0 for v in t.curr)
+
+
+@given(lengths, st.integers(min_value=1, max_value=15))
+def test_decision_is_pure(stream_lengths, k):
+    """should_prefetch never mutates the tables."""
+    t = tables_for(stream_lengths)
+    t.rollover()
+    before = (list(t.curr), list(t.next))
+    t.should_prefetch(k)
+    assert (list(t.curr), list(t.next)) == before
+
+
+@given(lengths)
+@settings(max_examples=30)
+def test_decision_matches_inequality_five(stream_lengths):
+    """The implementation agrees with lht(k) < 2*lht(k+1) literally."""
+    t = tables_for(stream_lengths)
+    t.rollover()
+    for k in range(1, t.lm):
+        expected = t.curr[k] < 2 * t.curr[k + 1]
+        assert t.should_prefetch(k) == expected

@@ -1,0 +1,79 @@
+"""Metamorphic properties of the full system.
+
+Rather than checking absolute numbers, these tests check that the
+simulated machine responds to workload changes the way a real machine
+must: more compute takes longer, more memory pressure takes longer,
+prefetching never breaks correctness accounting, and results compose
+deterministically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Trace, make_config, simulate
+from repro.workloads.synthetic import StreamWorkload, generate_trace
+
+small_workloads = st.builds(
+    StreamWorkload,
+    name=st.just("meta"),
+    length_dist=st.just({1: 0.3, 2: 0.4, 4: 0.3}),
+    gap_mean=st.floats(min_value=5.0, max_value=40.0),
+    hot_fraction=st.floats(min_value=0.0, max_value=0.5),
+    hot_lines=st.just(256),
+    write_fraction=st.floats(min_value=0.0, max_value=0.3),
+    interleave=st.integers(min_value=1, max_value=4),
+    burstiness=st.just(0.5),
+)
+
+
+@given(small_workloads, st.integers(min_value=200, max_value=800))
+@settings(max_examples=10, deadline=None)
+def test_longer_traces_take_longer(workload, n):
+    short = simulate(make_config("NP"), generate_trace(workload, n, seed=3))
+    long = simulate(make_config("NP"), generate_trace(workload, 2 * n, seed=3))
+    assert long.cycles > short.cycles
+
+
+@given(small_workloads)
+@settings(max_examples=10, deadline=None)
+def test_bigger_gaps_take_longer(workload):
+    import dataclasses
+
+    base = generate_trace(workload, 400, seed=3)
+    slower_wl = dataclasses.replace(workload, gap_mean=workload.gap_mean * 4)
+    slower = generate_trace(slower_wl, 400, seed=3)
+    a = simulate(make_config("NP"), base)
+    b = simulate(make_config("NP"), slower)
+    assert b.cycles > a.cycles
+
+
+@given(small_workloads)
+@settings(max_examples=10, deadline=None)
+def test_instruction_count_config_invariant(workload):
+    trace = generate_trace(workload, 400, seed=3)
+    counts = {
+        simulate(make_config(name), trace).instructions
+        for name in ("NP", "PS", "MS", "PMS")
+    }
+    assert len(counts) == 1
+    assert counts.pop() == trace.instructions
+
+
+@given(small_workloads)
+@settings(max_examples=8, deadline=None)
+def test_prefetching_never_regresses_badly(workload):
+    """PMS may not help a given random workload, but it must never cost
+    more than a small constant factor — the adaptive machinery's job."""
+    trace = generate_trace(workload, 500, seed=3)
+    np_run = simulate(make_config("NP"), trace)
+    pms = simulate(make_config("PMS"), trace)
+    assert pms.cycles < np_run.cycles * 1.15
+
+
+@given(st.integers(min_value=0, max_value=2**30))
+@settings(max_examples=10, deadline=None)
+def test_single_line_trace_latency_sane(offset):
+    line = (1 << 34) + offset
+    result = simulate(make_config("NP"), Trace([(0, line, False)]))
+    # one cold read: a handful of MC cycles, never hundreds
+    assert result.cycles < 200

@@ -1,0 +1,59 @@
+"""Unit tests for CLI argument parsing (no simulation)."""
+
+import pytest
+
+from repro.cli import FIGURES, _build_parser
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = _build_parser().parse_args(["run", "-b", "milc"])
+        assert args.config == "PMS"
+        assert args.accesses == 15_000
+        assert args.threads == 1
+        assert not args.json
+
+    def test_run_json_flag(self):
+        args = _build_parser().parse_args(["run", "-b", "milc", "--json"])
+        assert args.json
+
+    def test_suite_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["suite", "-s", "spec2049"])
+
+    def test_scheduler_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["run", "-b", "x", "--scheduler", "magic"])
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_trace_requires_output(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["trace", "-b", "milc"])
+
+    def test_cost_threads_list(self):
+        args = _build_parser().parse_args(["cost", "--threads", "1", "8"])
+        assert args.threads == [1, 8]
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_registered(self):
+        for fid in ("fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                    "fig16"):
+            assert fid in FIGURES
+
+    def test_tables_registered(self):
+        for tid in ("hardware", "smt", "scheduler"):
+            assert tid in FIGURES
+
+    def test_registry_targets_importable(self):
+        import importlib
+
+        for module_name, func_name, render_name in FIGURES.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, func_name)
+            if render_name:
+                assert hasattr(module, render_name)

@@ -1,0 +1,175 @@
+"""Unit tests for the memory controller."""
+
+import pytest
+
+from repro.common.config import (
+    ControllerConfig,
+    DRAMConfig,
+    MemorySidePrefetcherConfig,
+)
+from repro.common.types import CommandKind, MemoryCommand, Provenance
+from repro.controller.controller import MemoryController
+from repro.dram.device import DRAMDevice
+from repro.prefetch.memory_side import MemorySidePrefetcher
+
+
+def build(ms_enabled=False, engine="nextline", **ctrl_kw):
+    dram = DRAMDevice(DRAMConfig())
+    ms = MemorySidePrefetcher(
+        MemorySidePrefetcherConfig(enabled=ms_enabled, engine=engine), threads=1
+    )
+    completed = []
+    mc = MemoryController(
+        ControllerConfig(**ctrl_kw),
+        dram,
+        ms,
+        on_read_complete=lambda cmd, now: completed.append((cmd, now)),
+    )
+    return mc, completed
+
+
+def read(line):
+    return MemoryCommand(CommandKind.READ, line)
+
+
+def write(line):
+    return MemoryCommand(CommandKind.WRITE, line)
+
+
+def run_until_drained(mc, start=0, limit=10_000):
+    now = start
+    while not mc.idle():
+        mc.tick(now)
+        now += 1
+        if now - start > limit:
+            raise AssertionError("controller failed to drain")
+    return now
+
+
+class TestBasicFlow:
+    def test_read_round_trip(self):
+        mc, completed = build()
+        cmd = read(5)
+        assert mc.enqueue(cmd, 0)
+        run_until_drained(mc)
+        assert [c for c, _ in completed] == [cmd]
+
+    def test_write_completes_silently(self):
+        mc, completed = build()
+        mc.enqueue(write(5), 0)
+        run_until_drained(mc)
+        assert completed == []
+        assert mc.stats["writes_arrived"] == 1
+
+    def test_full_read_queue_rejects(self):
+        mc, _ = build(read_queue_depth=1)
+        assert mc.enqueue(read(1), 0)
+        assert not mc.enqueue(read(2), 0)
+        assert mc.stats["read_rejects"] == 1
+
+    def test_reads_arrive_stat_by_provenance(self):
+        mc, _ = build()
+        mc.enqueue(read(1), 0)
+        ps = MemoryCommand(
+            CommandKind.READ, 2, provenance=Provenance.PS_PREFETCH
+        )
+        mc.enqueue(ps, 0)
+        assert mc.stats["reads_demand"] == 1
+        assert mc.stats["reads_ps"] == 1
+
+    def test_arrival_stamped(self):
+        mc, _ = build()
+        cmd = read(1)
+        mc.enqueue(cmd, 7)
+        assert cmd.arrival == 7
+
+    def test_completion_order_has_overhead(self):
+        mc, completed = build()
+        mc.enqueue(read(5), 0)
+        run_until_drained(mc)
+        _, when = completed[0]
+        # must include DRAM access plus controller overhead
+        assert when >= ControllerConfig().overhead_mc_cycles + 8
+
+
+class TestPrefetchFlow:
+    def test_prefetch_generated_and_buffered(self):
+        mc, _ = build(ms_enabled=True)
+        mc.enqueue(read(100), 0)
+        run_until_drained(mc)
+        # next-line engine prefetched 101 into the buffer
+        assert mc.ms.buffer.contains(101)
+
+    def test_pb_hit_squashes_read(self):
+        mc, completed = build(ms_enabled=True)
+        mc.enqueue(read(100), 0)
+        now = run_until_drained(mc)
+        mc.enqueue(read(101), now)
+        run_until_drained(mc, start=now)
+        assert mc.pb_hits == 1
+        assert len(completed) == 2
+
+    def test_pb_hit_faster_than_dram(self):
+        mc, completed = build(ms_enabled=True)
+        mc.enqueue(read(100), 0)
+        now = run_until_drained(mc)
+        mc.enqueue(read(101), now)
+        run_until_drained(mc, start=now)
+        dram_latency = completed[0][1]
+        pb_latency = completed[1][1] - now
+        assert pb_latency < dram_latency
+
+    def test_merge_with_in_flight_prefetch(self):
+        mc, completed = build(ms_enabled=True)
+        mc.enqueue(read(100), 0)
+        # tick just enough for the prefetch to issue but not complete,
+        # then demand the prefetched line
+        for now in range(3):
+            mc.tick(now)
+        mc.enqueue(read(101), 3)
+        run_until_drained(mc, start=3)
+        lines = [c.line for c, _ in completed]
+        assert lines.count(101) == 1
+        # the line was fetched once: one prefetch issue, no demand issue
+        assert mc.stats["issued_regular"] <= 2
+
+    def test_disabled_prefetcher_never_issues(self):
+        mc, _ = build(ms_enabled=False)
+        mc.enqueue(read(100), 0)
+        run_until_drained(mc)
+        assert mc.stats["issued_prefetch"] == 0
+
+
+class TestIdle:
+    def test_fresh_controller_idle(self):
+        mc, _ = build()
+        assert mc.idle()
+
+    def test_not_idle_with_queued_work(self):
+        mc, _ = build()
+        mc.enqueue(read(1), 0)
+        assert not mc.idle()
+
+    def test_not_idle_with_pending_lpq(self):
+        mc, _ = build(ms_enabled=True)
+        mc.enqueue(read(100), 0)
+        mc.tick(0)
+        # even if reorder queues drain, a pending prefetch keeps it busy
+        assert not mc.idle() or mc.ms.lpq.head() is None
+
+
+class TestWriteDrain:
+    def test_writes_eventually_issue(self):
+        mc, _ = build()
+        for i in range(4):
+            mc.enqueue(write(i), 0)
+        run_until_drained(mc)
+        assert mc.stats["issued_regular"] == 4
+
+    def test_reads_priority_over_writes(self):
+        mc, completed = build()
+        mc.enqueue(write(0), 0)
+        mc.enqueue(write(1), 0)
+        mc.enqueue(read(2), 0)
+        run_until_drained(mc)
+        assert len(completed) == 1

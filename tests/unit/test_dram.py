@@ -1,0 +1,163 @@
+"""Unit tests for the DRAM bank and device models."""
+
+import pytest
+
+from repro.common.config import DRAMConfig, DRAMTimingConfig
+from repro.common.types import CommandKind, MemoryCommand, Provenance
+from repro.dram.bank import Bank
+from repro.dram.device import DRAMDevice
+
+
+def timing(**kw):
+    return DRAMTimingConfig(**kw)
+
+
+def read(line, prov=Provenance.DEMAND):
+    return MemoryCommand(CommandKind.READ, line, provenance=prov)
+
+
+def write(line):
+    return MemoryCommand(CommandKind.WRITE, line)
+
+
+class TestBank:
+    def test_first_access_pays_activate(self):
+        b = Bank(timing())
+        cas_at, activated = b.reserve(row=0, now=0, is_write=False)
+        assert activated
+        assert cas_at == timing().t_rcd
+
+    def test_row_hit_skips_activate(self):
+        b = Bank(timing())
+        b.reserve(0, 0, False)
+        cas_at, activated = b.reserve(0, now=50, is_write=False)
+        assert not activated
+        assert cas_at == 50
+
+    def test_row_conflict_pays_precharge(self):
+        t = timing()
+        b = Bank(t)
+        b.reserve(0, 0, False)
+        # at a quiet time, switching rows costs tRP + tRCD after pre_ready
+        cas_at, activated = b.reserve(1, now=100, is_write=False)
+        assert activated
+        assert cas_at == 100 + t.t_rp + t.t_rcd
+
+    def test_tras_respected_on_early_conflict(self):
+        t = timing()
+        b = Bank(t)
+        b.reserve(0, 0, False)  # act at 0; pre_ready >= t_ras
+        cas_at, _ = b.reserve(1, now=0, is_write=False)
+        assert cas_at >= t.t_ras + t.t_rp + t.t_rcd
+
+    def test_trc_limits_back_to_back_activates(self):
+        t = timing()
+        b = Bank(t)
+        b.reserve(0, 0, False)
+        b.reserve(1, 0, False)  # precharge + activate
+        # third row: second activate must be >= first act + 2*t_rc? at
+        # least the act_ready bookkeeping must push it past one t_rc
+        cas_at, _ = b.reserve(2, now=0, is_write=False)
+        assert cas_at >= 2 * t.t_rc - t.t_rc + t.t_rcd  # >= t_rc + t_rcd
+
+    def test_write_recovery_delays_precharge(self):
+        t = timing()
+        b = Bank(t)
+        b.reserve(0, 0, True)  # a write
+        cas_read_conflict, _ = b.reserve(1, now=0, is_write=False)
+        b2 = Bank(t)
+        b2.reserve(0, 0, False)  # a read
+        cas_after_read, _ = b2.reserve(1, now=0, is_write=False)
+        assert cas_read_conflict >= cas_after_read
+
+    def test_hold_and_holder(self):
+        b = Bank(timing())
+        b.hold(Provenance.MS_PREFETCH, until=10)
+        assert b.holder_at(5) is Provenance.MS_PREFETCH
+        assert b.holder_at(10) is None
+        assert b.busy_at(9)
+        assert not b.busy_at(10)
+
+
+class TestAddressMap:
+    def test_lines_interleave_across_banks(self):
+        dev = DRAMDevice(DRAMConfig(ranks=2, banks_per_rank=4))
+        banks = [dev.locate(line)[0] for line in range(8)]
+        assert banks == list(range(8))
+
+    def test_row_advances_after_sweep(self):
+        cfg = DRAMConfig(ranks=1, banks_per_rank=2, row_lines=2)
+        dev = DRAMDevice(cfg)
+        # bank 0 owns lines 0,2,4,6..; rows hold 2 of them
+        assert dev.locate(0) == (0, 0)
+        assert dev.locate(2) == (0, 0)
+        assert dev.locate(4) == (0, 1)
+
+
+class TestDevice:
+    def test_issue_returns_completion(self):
+        dev = DRAMDevice(DRAMConfig())
+        result = dev.try_issue(read(0), now=0)
+        assert result.accepted
+        t = DRAMTimingConfig()
+        assert result.completion == t.t_rcd + t.t_cl + t.burst_cycles
+
+    def test_busy_bank_rejects(self):
+        dev = DRAMDevice(DRAMConfig())
+        dev.try_issue(read(0), 0)
+        result = dev.try_issue(read(0), 1)
+        assert not result.accepted
+        assert result.blocked_by is Provenance.DEMAND
+
+    def test_blocked_by_reports_prefetch(self):
+        dev = DRAMDevice(DRAMConfig())
+        dev.try_issue(read(0, Provenance.MS_PREFETCH), 0)
+        result = dev.try_issue(read(0), 1)
+        assert result.blocked_by is Provenance.MS_PREFETCH
+
+    def test_different_banks_overlap(self):
+        dev = DRAMDevice(DRAMConfig())
+        r0 = dev.try_issue(read(0), 0)
+        r1 = dev.try_issue(read(1), 1)  # different bank
+        assert r0.accepted and r1.accepted
+
+    def test_bus_serialises_transfers(self):
+        dev = DRAMDevice(DRAMConfig())
+        r0 = dev.try_issue(read(0), 0)
+        r1 = dev.try_issue(read(1), 0)
+        burst = DRAMTimingConfig().burst_cycles
+        assert r1.completion >= r0.completion + burst
+
+    def test_row_hit_stat(self):
+        cfg = DRAMConfig(ranks=1, banks_per_rank=1, row_lines=8)
+        dev = DRAMDevice(cfg)
+        first = dev.try_issue(read(0), 0)
+        dev.try_issue(read(0), first.completion + 1)
+        assert dev.stats["row_hits"] == 1
+        assert dev.stats["activations"] == 1
+
+    def test_ready_now_semantics(self):
+        dev = DRAMDevice(DRAMConfig())
+        assert dev.ready_now(read(0), 0)
+        dev.try_issue(read(0), 0)
+        assert not dev.ready_now(read(0), 1)  # bank mid-access
+
+    def test_bank_holder_query(self):
+        dev = DRAMDevice(DRAMConfig())
+        dev.try_issue(read(5, Provenance.MS_PREFETCH), 0)
+        assert dev.bank_holder(5, 1) is Provenance.MS_PREFETCH
+        assert dev.bank_holder(6, 1) is None
+
+    def test_utilization(self):
+        dev = DRAMDevice(DRAMConfig())
+        dev.try_issue(read(0), 0)
+        assert 0 < dev.utilization(100) <= 1.0
+
+    def test_bus_lead_cap_rejects_deep_reservation(self):
+        dev = DRAMDevice(DRAMConfig())
+        accepted = 0
+        for line in range(64):
+            if dev.try_issue(read(line), 0).accepted:
+                accepted += 1
+        # the data bus may only be reserved MAX_BUS_LEAD cycles ahead
+        assert accepted < 64

@@ -1,0 +1,72 @@
+"""Unit tests for the DRAM power/energy model."""
+
+import pytest
+
+from repro.common.config import DRAMConfig, DRAMPowerConfig
+from repro.dram.power import DRAMPowerModel
+
+
+def model(**kw):
+    return DRAMPowerModel(DRAMConfig(), DRAMPowerConfig(**kw))
+
+
+class TestAccounting:
+    def test_event_counters(self):
+        m = model()
+        m.record_access(is_write=False, activated=True)
+        m.record_access(is_write=True, activated=False)
+        assert m.activations == 1
+        assert m.read_bursts == 1
+        assert m.write_bursts == 1
+
+    def test_zero_time_report(self):
+        report = model().finalize(0)
+        assert report.energy_uj == 0
+        assert report.avg_power_mw == 0
+
+    def test_background_scales_with_time(self):
+        m = model()
+        short = m.finalize(1000)
+        long = m.finalize(2000)
+        assert long.background_energy_uj == pytest.approx(
+            2 * short.background_energy_uj
+        )
+
+    def test_known_energy_arithmetic(self):
+        cfg = DRAMPowerConfig(
+            e_activate_nj=2.0,
+            e_read_nj=3.0,
+            e_write_nj=5.0,
+            p_background_active_mw=100.0,
+            p_refresh_mw=0.0,
+        )
+        m = DRAMPowerModel(DRAMConfig(ranks=1), cfg)
+        m.record_access(False, True)  # 1 activate + 1 read
+        m.record_access(True, False)  # 1 write
+        report = m.finalize(1000)  # 1000 * 3.75 ns
+        t_ns = 1000 * 3.75
+        expected_bg = 100.0 * t_ns * 1e-6
+        assert report.activate_energy_uj == pytest.approx(2.0e-3)
+        assert report.burst_energy_uj == pytest.approx(8.0e-3)
+        assert report.background_energy_uj == pytest.approx(expected_bg)
+
+    def test_average_power_consistent_with_energy(self):
+        m = model()
+        for _ in range(100):
+            m.record_access(False, True)
+        report = m.finalize(10_000)
+        # P = E / t (uJ / ns -> kW; kW -> mW is 1e6)
+        expected = report.energy_uj / report.elapsed_ns * 1e6
+        assert report.avg_power_mw == pytest.approx(expected)
+
+    def test_more_traffic_more_power(self):
+        quiet = model()
+        busy = model()
+        for _ in range(500):
+            busy.record_access(False, True)
+        t = 100_000
+        assert busy.finalize(t).avg_power_mw > quiet.finalize(t).avg_power_mw
+
+    def test_describe(self):
+        report = model().finalize(100)
+        assert "mW" in report.describe()

@@ -1,0 +1,160 @@
+"""Unit tests for the three memory-side prefetch engines."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import MemorySidePrefetcherConfig, SLHConfig
+from repro.common.types import Direction
+from repro.prefetch.engines import (
+    ASDEngine,
+    NextLineEngine,
+    P5StyleEngine,
+    build_engine,
+)
+
+
+def asd_config(**slh_kw):
+    cfg = MemorySidePrefetcherConfig(enabled=True, engine="asd")
+    if slh_kw:
+        cfg = replace(cfg, slh=SLHConfig(**slh_kw))
+    return cfg
+
+
+class TestBuildEngine:
+    def test_factory_dispatch(self):
+        assert isinstance(build_engine(asd_config(), 1), ASDEngine)
+        cfg = replace(asd_config(), engine="nextline")
+        assert isinstance(build_engine(cfg, 1), NextLineEngine)
+        cfg = replace(asd_config(), engine="p5")
+        assert isinstance(build_engine(cfg, 1), P5StyleEngine)
+
+
+class TestNextLine:
+    def test_always_prefetches_next(self):
+        engine = NextLineEngine(asd_config(), 1)
+        assert engine.observe_read(100, 0, 0) == [101]
+        assert engine.observe_read(500, 0, 1) == [501]
+
+    def test_degree(self):
+        cfg = replace(asd_config(), degree=3)
+        engine = NextLineEngine(cfg, 1)
+        assert engine.observe_read(100, 0, 0) == [101, 102, 103]
+
+
+class TestP5Style:
+    def test_needs_two_consecutive_reads(self):
+        engine = P5StyleEngine(asd_config(), 1)
+        assert engine.observe_read(100, 0, 0) == []
+        assert engine.observe_read(101, 0, 1) == [102]
+
+    def test_advance_continues(self):
+        engine = P5StyleEngine(asd_config(), 1)
+        engine.observe_read(100, 0, 0)
+        engine.observe_read(101, 0, 1)
+        assert engine.observe_read(102, 0, 2) == [103]
+
+    def test_descending_confirmation(self):
+        engine = P5StyleEngine(asd_config(), 1)
+        engine.observe_read(100, 0, 0)
+        assert engine.observe_read(99, 0, 1) == [98]
+
+    def test_nonadjacent_reads_never_prefetch(self):
+        engine = P5StyleEngine(asd_config(), 1)
+        for i, line in enumerate((10, 50, 90, 130)):
+            assert engine.observe_read(line, 0, i) == []
+
+    def test_per_thread_isolation(self):
+        engine = P5StyleEngine(asd_config(), 2)
+        engine.observe_read(100, 0, 0)
+        # thread 1 reading the adjacent line must not confirm thread 0's
+        assert engine.observe_read(101, 1, 1) == []
+
+    def test_stream_table_lru_eviction(self):
+        engine = P5StyleEngine(asd_config(), 1)
+        # confirm 9 streams; table holds 8
+        for s in range(9):
+            base = s * 1000
+            engine.observe_read(base, 0, 0)
+            engine.observe_read(base + 1, 0, 1)
+        # the first stream was LRU-evicted: advancing it does nothing
+        assert engine.observe_read(2, 0, 2) == []
+
+
+class TestASD:
+    def test_no_prefetch_in_first_epoch(self):
+        # LHTcurr is empty until the first rollover
+        engine = ASDEngine(asd_config(epoch_reads=1000), 1)
+        out = []
+        for line in range(100, 120):
+            out += engine.observe_read(line, 0, line)
+        assert out == []
+
+    def test_prefetches_after_learning_streams(self):
+        engine = ASDEngine(asd_config(epoch_reads=100), 1)
+        # teach it long ascending streams
+        line = 0
+        for _ in range(30):
+            for _ in range(8):
+                engine.observe_read(line, 0, line)
+                line += 1
+            line += 100
+        engine.epoch_flush()
+        out = engine.observe_read(10_000, 0, 99_999)
+        assert out == [10_001]
+
+    def test_descending_direction_prefetch(self):
+        engine = ASDEngine(asd_config(epoch_reads=100), 1)
+        line = 100_000
+        for _ in range(30):
+            for _ in range(8):
+                engine.observe_read(line, 0, 100_000 - line)
+                line -= 1
+            line -= 100
+        engine.epoch_flush()
+        # a new descending stream: observe two reads downward
+        engine.observe_read(500, 0, 999_000)
+        out = engine.observe_read(499, 0, 999_001)
+        assert out == [498]
+
+    def test_length_one_workload_suppresses(self):
+        engine = ASDEngine(asd_config(epoch_reads=100), 1)
+        for i in range(300):
+            engine.observe_read(i * 1000, 0, i)
+        engine.epoch_flush()
+        out = []
+        for i in range(300, 330):
+            out += engine.observe_read(i * 1000, 0, i)
+        assert out == []
+
+    def test_epoch_flush_resets_filters(self):
+        engine = ASDEngine(asd_config(epoch_reads=100), 1)
+        engine.observe_read(100, 0, 0)
+        engine.observe_read(101, 0, 1)
+        engine.epoch_flush()
+        assert engine.filters[0].occupancy == 0
+        # the flushed streams were credited to the (now-current) tables
+        assert engine.tables[0][Direction.ASCENDING].curr[1] == 2
+
+    def test_per_thread_tables(self):
+        engine = ASDEngine(asd_config(epoch_reads=100), 2)
+        engine.observe_read(100, 0, 0)
+        engine.observe_read(101, 0, 1)
+        engine.epoch_flush()
+        asc0 = engine.tables[0][Direction.ASCENDING].curr[1]
+        asc1 = engine.tables[1][Direction.ASCENDING].curr[1]
+        assert asc0 == 2
+        assert asc1 == 0
+
+    def test_multi_line_degree(self):
+        cfg = replace(asd_config(epoch_reads=100), degree=2)
+        engine = ASDEngine(cfg, 1)
+        line = 0
+        for _ in range(30):
+            for _ in range(8):
+                engine.observe_read(line, 0, line)
+                line += 1
+            line += 100
+        engine.epoch_flush()
+        out = engine.observe_read(50_000, 0, 99_999)
+        assert out == [50_001, 50_002]

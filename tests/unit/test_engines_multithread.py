@@ -1,0 +1,84 @@
+"""Unit tests: per-thread isolation of the memory-side engines.
+
+The paper's SMT argument rests on the locality-identification state
+being replicated per hardware thread — one thread's streams must never
+train or pollute another thread's tables.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import MemorySidePrefetcherConfig, SLHConfig
+from repro.common.types import CommandKind, MemoryCommand
+from repro.prefetch.engines import ASDEngine
+from repro.prefetch.memory_side import MemorySidePrefetcher
+
+
+def asd(threads, epoch=60):
+    cfg = MemorySidePrefetcherConfig(
+        enabled=True, engine="asd", slh=SLHConfig(epoch_reads=epoch)
+    )
+    return ASDEngine(cfg, threads)
+
+
+def train(engine, thread, streams=30, length=8, base=0):
+    line = base
+    for _ in range(streams):
+        for _ in range(length):
+            engine.observe_read(line, thread, 0)
+            line += 1
+        line += 100
+    engine.epoch_flush()
+    return line
+
+
+class TestThreadIsolation:
+    def test_training_does_not_leak_across_threads(self):
+        engine = asd(threads=2)
+        train(engine, thread=0)
+        # thread 1 saw nothing: its tables must suppress
+        assert engine.observe_read(10_000_000, 1, 0) == []
+        # thread 0 prefetches
+        assert engine.observe_read(20_000_000, 0, 0) == [20_000_001]
+
+    def test_filters_are_per_thread(self):
+        engine = asd(threads=2)
+        engine.observe_read(100, 0, 0)
+        # the adjacent line on the other thread starts a fresh stream
+        engine.observe_read(101, 1, 0)
+        assert engine.filters[0].lengths() == [1]
+        assert engine.filters[1].lengths() == [1]
+
+    def test_read_clocks_independent(self):
+        engine = asd(threads=2)
+        # thread 1 ages only with its own reads
+        engine.observe_read(100, 0, 0)
+        for i in range(50):
+            engine.observe_read(i * 1000, 1, 0)
+        # thread 0's slot is still alive (its clock saw one read)
+        engine.observe_read(101, 0, 0)
+        assert 2 in engine.filters[0].lengths()
+
+
+class TestMemorySideThreads:
+    def test_commands_route_to_their_thread(self):
+        ms = MemorySidePrefetcher(
+            MemorySidePrefetcherConfig(enabled=True, engine="asd",
+                                       slh=SLHConfig(epoch_reads=60)),
+            threads=2,
+        )
+        line = 0
+        for _ in range(30):
+            for _ in range(8):
+                ms.observe_read(
+                    MemoryCommand(CommandKind.READ, line, thread=0), 0, 0
+                )
+                line += 1
+            line += 100
+        # the shared epoch counter flushed thread-0 training at 240 reads
+        out_before = ms.stats["generated"]
+        ms.observe_read(
+            MemoryCommand(CommandKind.READ, 10_000_000, thread=1), 0, 0
+        )
+        assert ms.stats["generated"] == out_before  # thread 1 untrained

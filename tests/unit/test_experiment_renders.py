@@ -1,0 +1,71 @@
+"""Unit tests for the experiment render functions (table formatting)."""
+
+import pytest
+
+from repro.analysis.metrics import ConfigComparison, SuiteResult
+from repro.experiments.ablation import AblationFigure
+from repro.experiments.ablation import render as render_ablation
+from repro.experiments.efficiency import EfficiencyFigure, EfficiencyRow
+from repro.experiments.efficiency import render as render_efficiency
+from repro.experiments.performance import render as render_performance
+from repro.experiments.sensitivity import SweepFigure
+from repro.experiments.sensitivity import render as render_sweep
+from repro.experiments.smt import SMTResult
+from repro.experiments.smt import render as render_smt
+from repro.system.presets import ABLATION_CONFIGS
+
+
+class TestPerformanceRender:
+    def suite(self):
+        result = SuiteResult("spec2006fp")
+        result.rows.append(ConfigComparison("bwaves", 60.0, 30.0, 8.0))
+        result.rows.append(ConfigComparison("gamess", 0.5, 0.1, 0.0))
+        return result
+
+    def test_contains_rows_and_average(self):
+        out = render_performance(self.suite())
+        assert "bwaves" in out
+        assert "Average" in out
+        assert "60.0" in out
+
+    def test_mentions_paper_averages(self):
+        out = render_performance(self.suite())
+        assert "paper averages" in out
+        assert "32.7" in out  # the SPEC PMS-vs-NP paper number
+
+
+class TestAblationRender:
+    def test_summary_lines(self):
+        fig = AblationFigure(["b1"])
+        fig.normalized["b1"] = {c: 1.0 for c in ABLATION_CONFIGS}
+        out = render_ablation(fig)
+        assert "adaptive vs best fixed policy" in out
+        assert "next-line vs P5-style" in out
+
+
+class TestEfficiencyRender:
+    def test_paper_bands_in_title(self):
+        fig = EfficiencyFigure()
+        fig.rows["x"] = EfficiencyRow("x", 80.0, 25.0, 2.0)
+        out = render_efficiency(fig)
+        assert "82-91%" in out
+        assert "19-34%" in out
+
+
+class TestSweepRender:
+    def test_sweep_columns(self):
+        fig = SweepFigure("pb_entries", (8, 16))
+        fig.speedups["x"] = {8: 1.1, 16: 1.2}
+        out = render_sweep(fig)
+        assert "pb_entries" in out
+        assert "1.20" in out
+
+
+class TestSMTRender:
+    def test_with_and_without_suite(self):
+        result = SMTResult(["x"])
+        result.rows["x"] = {"pms_vs_np": 10.0, "ms_vs_np": 5.0, "pms_vs_ps": 3.0}
+        plain = render_smt(result)
+        assert "SMT" in plain
+        with_suite = render_smt(result, suite="nas")
+        assert "paper" in with_suite

@@ -1,0 +1,46 @@
+"""Edge-case tests for report formatting and bar helpers."""
+
+import pytest
+
+from repro.analysis.report import format_bar_chart, format_table
+
+
+class TestFormatTableEdges:
+    def test_single_cell(self):
+        out = format_table(["x"], [[1]])
+        assert "x" in out and "1" in out
+
+    def test_no_rows(self):
+        out = format_table(["a", "b"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_wide_values_stretch_columns(self):
+        out = format_table(["n"], [["a-very-long-benchmark-name"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("a-very-long-benchmark-name")
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b", "c"], [["s", 3, 4.5678]])
+        assert "4.57" in out  # two decimals for small floats
+        out2 = format_table(["a"], [[123.456]])
+        assert "123.5" in out2  # one decimal for large floats
+
+    def test_no_trailing_whitespace(self):
+        out = format_table(["a", "bb"], [["x", "y"]])
+        for line in out.splitlines():
+            assert line == line.rstrip()
+
+
+class TestBarChartEdges:
+    def test_zero_values(self):
+        out = format_bar_chart({"a": 0.0})
+        assert "|" in out
+
+    def test_max_value_override(self):
+        out = format_bar_chart({"a": 5.0}, width=10, max_value=10.0)
+        assert out.count("#") == 5
+
+    def test_custom_unit(self):
+        out = format_bar_chart({"a": 1.0}, unit="x")
+        assert "x" in out

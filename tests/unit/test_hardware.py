@@ -1,0 +1,66 @@
+"""Unit tests for the hardware-cost model."""
+
+import pytest
+
+from repro.analysis.hardware import (
+    MC_FRACTION_OF_CHIP_AREA,
+    PAPER_MC_AREA_INCREASE,
+    HardwareCost,
+    estimate_cost,
+    paper_anchor_bits,
+)
+from repro.common.config import MemorySidePrefetcherConfig
+
+
+class TestEstimate:
+    def test_default_config_inventory(self):
+        cost = estimate_cost(MemorySidePrefetcherConfig(enabled=True))
+        assert cost.threads == 1
+        # two table pairs (curr/next) x two directions x 16 entries
+        assert cost.comparators == 2 * 15
+        assert cost.total_state_bits > 0
+
+    def test_prefetch_buffer_dominates_state(self):
+        # 16 x 128 B of data dwarfs the tracking tables — the point of
+        # the paper's "small hardware" claim
+        cost = estimate_cost(MemorySidePrefetcherConfig(enabled=True))
+        assert cost.prefetch_buffer_bits > cost.lht_bits
+        assert cost.prefetch_buffer_bits > cost.stream_filter_bits
+
+    def test_per_thread_state_scales(self):
+        one = estimate_cost(MemorySidePrefetcherConfig(enabled=True), threads=1)
+        two = estimate_cost(MemorySidePrefetcherConfig(enabled=True), threads=2)
+        assert two.stream_filter_bits == 2 * one.stream_filter_bits
+        assert two.lht_bits == 2 * one.lht_bits
+        # the Prefetch Buffer is shared (paper keeps it at 16 lines)
+        assert two.prefetch_buffer_bits == one.prefetch_buffer_bits
+
+    def test_anchor_reproduces_paper_area(self):
+        cost = estimate_cost(MemorySidePrefetcherConfig(enabled=True))
+        anchor = paper_anchor_bits()
+        assert cost.mc_area_increase(anchor) == pytest.approx(
+            PAPER_MC_AREA_INCREASE
+        )
+        assert cost.chip_area_increase(anchor) == pytest.approx(
+            PAPER_MC_AREA_INCREASE * MC_FRACTION_OF_CHIP_AREA
+        )
+
+    def test_chip_area_increase_below_tenth_percent(self):
+        # headline claim: less than 0.1% of the chip
+        cost = estimate_cost(MemorySidePrefetcherConfig(enabled=True))
+        assert cost.chip_area_increase(paper_anchor_bits()) < 0.001
+
+    def test_power_increase_scales_with_state(self):
+        small = estimate_cost(MemorySidePrefetcherConfig(enabled=True), threads=1)
+        big = estimate_cost(MemorySidePrefetcherConfig(enabled=True), threads=4)
+        anchor = paper_anchor_bits()
+        assert big.chip_power_increase(anchor) > small.chip_power_increase(anchor)
+
+    def test_invalid_anchor(self):
+        cost = estimate_cost(MemorySidePrefetcherConfig(enabled=True))
+        with pytest.raises(ValueError):
+            cost.mc_area_increase(0)
+
+    def test_total_state_bytes(self):
+        cost = HardwareCost(8, 8, 8, 8, 1, 1)
+        assert cost.total_state_bytes == 4.0

@@ -1,0 +1,44 @@
+"""Additional scheduler tests: strict arrival order and write handling."""
+
+import pytest
+
+from repro.common.config import DRAMConfig
+from repro.common.types import CommandKind, MemoryCommand
+from repro.controller.schedulers import InOrderScheduler, MemorylessScheduler
+from repro.dram.device import DRAMDevice
+
+
+def cmd(kind, line, arrival):
+    return MemoryCommand(kind, line, arrival=arrival)
+
+
+class TestInOrderStrictness:
+    def test_arrival_ties_broken_by_uid(self):
+        a = cmd(CommandKind.READ, 1, arrival=5)
+        b = cmd(CommandKind.READ, 2, arrival=5)
+        dev = DRAMDevice(DRAMConfig())
+        picked = InOrderScheduler().select([b, a], dev, 0)
+        assert picked is a  # earlier uid
+
+    def test_writes_and_reads_ordered_together(self):
+        r = cmd(CommandKind.READ, 1, arrival=7)
+        w = cmd(CommandKind.WRITE, 2, arrival=3)
+        dev = DRAMDevice(DRAMConfig())
+        assert InOrderScheduler().select([r, w], dev, 0) is w
+
+
+class TestMemorylessWriteHandling:
+    def test_ready_write_beats_blocked_read(self):
+        dev = DRAMDevice(DRAMConfig(ranks=1, banks_per_rank=2))
+        dev.try_issue(cmd(CommandKind.READ, 0, 0), 0)  # bank 0 busy
+        blocked_read = cmd(CommandKind.READ, 0, arrival=1)
+        ready_write = cmd(CommandKind.WRITE, 1, arrival=2)
+        picked = MemorylessScheduler().select(
+            [blocked_read, ready_write], dev, 1
+        )
+        assert picked is ready_write
+
+    def test_single_candidate_always_selected(self):
+        dev = DRAMDevice(DRAMConfig())
+        only = cmd(CommandKind.WRITE, 5, arrival=9)
+        assert MemorylessScheduler().select([only], dev, 0) is only

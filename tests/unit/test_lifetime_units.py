@@ -1,0 +1,96 @@
+"""Unit tests for the two Stream Filter lifetime clocks.
+
+The default counts observed Reads; ``lifetime_unit="cpu"`` restores the
+paper's processor-cycle mechanism (see DESIGN.md deviation 1).  Both
+clocks must drive the same eviction semantics.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import MemorySidePrefetcherConfig, StreamFilterConfig
+from repro.prefetch.engines import ASDEngine
+
+
+def engine(unit, init, inc, cap):
+    cfg = MemorySidePrefetcherConfig(
+        enabled=True,
+        engine="asd",
+        stream_filter=StreamFilterConfig(
+            lifetime_unit=unit,
+            lifetime_init=init,
+            lifetime_increment=inc,
+            lifetime_cap=cap,
+        ),
+    )
+    return ASDEngine(cfg, threads=1)
+
+
+class TestReadClock:
+    def test_quiet_stream_evicts_after_n_reads(self):
+        e = engine("reads", init=3, inc=3, cap=24)
+        e.observe_read(100, 0, 0)
+        # three unrelated reads age the first slot out
+        for i, line in enumerate((500, 900, 1300), start=1):
+            e.observe_read(line, 0, i * 8)
+        assert 100 not in [s.last for s in e.filters[0].slots]
+
+    def test_active_stream_survives(self):
+        e = engine("reads", init=3, inc=3, cap=24)
+        line = 100
+        for i in range(10):
+            e.observe_read(line + i, 0, i * 8)
+        lengths = e.filters[0].lengths()
+        assert 10 in lengths
+
+    def test_cpu_time_irrelevant_for_read_clock(self):
+        e = engine("reads", init=3, inc=3, cap=24)
+        e.observe_read(100, 0, 0)
+        # an enormous CPU-time jump with only one intervening read must
+        # NOT expire the slot (only read events age it)
+        e.observe_read(500, 0, 10_000_000)
+        e.observe_read(101, 0, 10_000_001)
+        assert 2 in e.filters[0].lengths()
+
+    def test_tick_is_noop_for_read_clock(self):
+        e = engine("reads", init=3, inc=3, cap=24)
+        e.observe_read(100, 0, 0)
+        e.tick(10_000_000)
+        assert e.filters[0].occupancy == 1
+
+
+class TestCpuClock:
+    def test_quiet_stream_evicts_after_cpu_cycles(self):
+        e = engine("cpu", init=100, inc=100, cap=800)
+        e.observe_read(100, 0, 0)
+        e.tick(200)
+        assert e.filters[0].occupancy == 0
+
+    def test_read_count_irrelevant_for_cpu_clock(self):
+        e = engine("cpu", init=1000, inc=1000, cap=8000)
+        e.observe_read(100, 0, 0)
+        # many reads in a short cpu window: slot must survive
+        for i, line in enumerate((500, 900, 1300, 1700), start=1):
+            e.observe_read(line, 0, i)
+        e.observe_read(101, 0, 10)
+        assert 2 in e.filters[0].lengths()
+
+    def test_advance_extends_cpu_lifetime(self):
+        e = engine("cpu", init=100, inc=100, cap=800)
+        e.observe_read(100, 0, 0)
+        e.observe_read(101, 0, 90)  # extends to ~200
+        e.tick(150)
+        assert e.filters[0].occupancy == 1
+
+
+class TestSemanticEquivalence:
+    def test_same_behaviour_when_clocks_align(self):
+        """With one read per CPU cycle the two clocks agree exactly."""
+        reads = [100, 101, 102, 700, 701, 1500]
+        a = engine("reads", init=4, inc=4, cap=32)
+        b = engine("cpu", init=4, inc=4, cap=32)
+        for i, line in enumerate(reads):
+            a.observe_read(line, 0, i + 1)
+            b.observe_read(line, 0, i + 1)
+            assert sorted(a.filters[0].lengths()) == sorted(b.filters[0].lengths())

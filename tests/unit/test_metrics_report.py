@@ -1,0 +1,86 @@
+"""Unit tests for analysis.metrics and analysis.report."""
+
+import pytest
+
+from repro.analysis.metrics import compare_runs, power_energy_rows
+from repro.analysis.report import format_bar_chart, format_table
+from repro.dram.power import PowerReport
+from repro.system.results import RunResult
+
+
+def result(cycles, power_mw=100.0, energy=100.0):
+    return RunResult(
+        config_name="x",
+        benchmark="b",
+        cycles=cycles,
+        instructions=1000,
+        cpu_ratio=8,
+        power=PowerReport(1, energy, power_mw, 0, 0, energy),
+    )
+
+
+class TestCompareRuns:
+    def runs(self):
+        return {
+            "b": {
+                "NP": result(1000),
+                "PS": result(800),
+                "MS": result(900),
+                "PMS": result(750),
+            }
+        }
+
+    def test_gains(self):
+        suite = compare_runs("demo", self.runs())
+        row = suite.rows[0]
+        assert row.pms_vs_np == pytest.approx(1000 / 750 * 100 - 100)
+        assert row.ms_vs_np == pytest.approx(1000 / 900 * 100 - 100)
+        assert row.pms_vs_ps == pytest.approx(800 / 750 * 100 - 100)
+
+    def test_averages(self):
+        suite = compare_runs("demo", self.runs())
+        assert suite.avg_pms_vs_np == suite.rows[0].pms_vs_np
+
+    def test_missing_config_raises(self):
+        runs = self.runs()
+        del runs["b"]["MS"]
+        with pytest.raises(KeyError):
+            compare_runs("demo", runs)
+
+
+class TestPowerRows:
+    def test_rows(self):
+        runs = {
+            "b": {"PS": result(1000, 100, 100), "PMS": result(900, 103, 92)}
+        }
+        rows = power_energy_rows(runs)
+        assert rows[0]["power_increase_pct"] == pytest.approx(3.0)
+        assert rows[0]["energy_reduction_pct"] == pytest.approx(8.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "v"], [["a", 1.234], ["bb", 20.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in out
+        assert "20.0" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = format_bar_chart({"a": 10.0, "b": 20.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_empty(self):
+        assert format_bar_chart({}, title="t") == "t"
+
+    def test_negative_values_render(self):
+        out = format_bar_chart({"a": -5.0})
+        assert "-5.0" in out

@@ -1,0 +1,114 @@
+"""Unit tests for the Prefetch Buffer."""
+
+import pytest
+
+from repro.common.config import PrefetchBufferConfig
+from repro.prefetch.prefetch_buffer import PrefetchBuffer
+
+
+def make_buffer(entries=16, assoc=4):
+    return PrefetchBuffer(PrefetchBufferConfig(entries=entries, assoc=assoc))
+
+
+class TestInsertAndHit:
+    def test_insert_then_read_hit(self):
+        pb = make_buffer()
+        pb.insert(10)
+        assert pb.read_hit(10)
+
+    def test_read_hit_consumes_entry(self):
+        # paper: a matching regular Read invalidates the entry
+        pb = make_buffer()
+        pb.insert(10)
+        pb.read_hit(10)
+        assert not pb.read_hit(10)
+
+    def test_miss_on_absent_line(self):
+        assert not make_buffer().read_hit(42)
+
+    def test_contains_is_side_effect_free(self):
+        pb = make_buffer()
+        pb.insert(10)
+        assert pb.contains(10)
+        assert pb.contains(10)
+        assert pb.read_hit(10)
+
+    def test_duplicate_insert_counted_not_grown(self):
+        pb = make_buffer()
+        pb.insert(10)
+        pb.insert(10)
+        assert pb.occupancy == 1
+        assert pb.stats["duplicate_inserts"] == 1
+
+
+class TestEviction:
+    def test_lru_within_set(self):
+        pb = make_buffer(entries=4, assoc=2)  # 2 sets
+        # lines 0, 2, 4 map to set 0
+        pb.insert(0)
+        pb.insert(2)
+        pb.insert(4)  # evicts 0 (LRU)
+        assert not pb.contains(0)
+        assert pb.contains(2)
+        assert pb.contains(4)
+
+    def test_reinsert_refreshes_lru(self):
+        pb = make_buffer(entries=4, assoc=2)
+        pb.insert(0)
+        pb.insert(2)
+        pb.insert(0)  # refresh 0
+        pb.insert(4)  # now 2 is LRU
+        assert pb.contains(0)
+        assert not pb.contains(2)
+
+    def test_unused_eviction_counted(self):
+        pb = make_buffer(entries=4, assoc=2)
+        pb.insert(0)
+        pb.insert(2)
+        pb.insert(4)
+        assert pb.stats["evicted_unused"] == 1
+
+    def test_capacity_never_exceeded(self):
+        pb = make_buffer(entries=8, assoc=4)
+        for line in range(100):
+            pb.insert(line)
+        assert pb.occupancy <= 8
+
+
+class TestInvalidation:
+    def test_write_invalidates(self):
+        pb = make_buffer()
+        pb.insert(10)
+        assert pb.invalidate(10)
+        assert not pb.contains(10)
+
+    def test_invalidate_absent_returns_false(self):
+        assert not make_buffer().invalidate(10)
+
+    def test_invalidation_counted(self):
+        pb = make_buffer()
+        pb.insert(10)
+        pb.invalidate(10)
+        assert pb.stats["write_invalidations"] == 1
+
+
+class TestUsefulFraction:
+    def test_no_inserts(self):
+        assert make_buffer().useful_fraction() == 0.0
+
+    def test_fraction(self):
+        pb = make_buffer()
+        pb.insert(1)
+        pb.insert(2)
+        pb.read_hit(1)
+        assert pb.useful_fraction() == pytest.approx(0.5)
+
+
+class TestGeometry:
+    def test_set_mapping(self):
+        pb = make_buffer(entries=16, assoc=4)  # 4 sets
+        assert pb.num_sets == 4
+        # lines differing by num_sets collide in a set
+        for i in range(5):
+            pb.insert(4 * i)
+        assert pb.occupancy == 4

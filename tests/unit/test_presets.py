@@ -1,0 +1,77 @@
+"""Unit tests for the system-configuration presets."""
+
+import pytest
+
+from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
+
+
+class TestPrimaryConfigs:
+    def test_np_disables_everything(self):
+        cfg = make_config("NP")
+        assert not cfg.ms_prefetcher.enabled
+        assert not cfg.ps_prefetcher.enabled
+
+    def test_ps_only(self):
+        cfg = make_config("PS")
+        assert not cfg.ms_prefetcher.enabled
+        assert cfg.ps_prefetcher.enabled
+
+    def test_ms_only(self):
+        cfg = make_config("MS")
+        assert cfg.ms_prefetcher.enabled
+        assert cfg.ms_prefetcher.engine == "asd"
+        assert not cfg.ps_prefetcher.enabled
+
+    def test_pms_both(self):
+        cfg = make_config("PMS")
+        assert cfg.ms_prefetcher.enabled
+        assert cfg.ps_prefetcher.enabled
+
+    def test_all_primary_names(self):
+        for name in CONFIG_NAMES:
+            assert make_config(name).name == name
+
+
+class TestAblationConfigs:
+    def test_fixed_policy_configs(self):
+        for k in range(1, 6):
+            cfg = make_config(f"PMS_POLICY{k}")
+            assert cfg.ms_prefetcher.scheduling.fixed_policy == k
+
+    def test_nextline_engine(self):
+        assert make_config("PMS_NEXTLINE").ms_prefetcher.engine == "nextline"
+
+    def test_p5_engine(self):
+        assert make_config("PMS_P5MC").ms_prefetcher.engine == "p5"
+
+    def test_all_ablation_configs_build(self):
+        for name in ABLATION_CONFIGS:
+            make_config(name)
+
+    def test_degree_config(self):
+        assert make_config("PMS_DEGREE3").ms_prefetcher.degree == 3
+
+    def test_asd_ps_extension(self):
+        cfg = make_config("ASD_PS")
+        assert cfg.ms_prefetcher.enabled
+        assert not cfg.ps_prefetcher.enabled
+
+
+class TestOptions:
+    def test_threads_passthrough(self):
+        assert make_config("PMS", threads=2).threads == 2
+
+    def test_scheduler_passthrough(self):
+        assert make_config("NP", scheduler="in_order").controller.scheduler == "in_order"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_config("TURBO")
+
+    def test_base_config_respected(self):
+        from dataclasses import replace
+
+        base = make_config("NP")
+        base = base.derive(core=replace(base.core, mlp=7))
+        cfg = make_config("PMS", base=base)
+        assert cfg.core.mlp == 7

@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    BENCHMARKS,
+    FOCUS_BENCHMARKS,
+    SUITES,
+    get_profile,
+    suite_benchmarks,
+)
+
+
+class TestInventory:
+    def test_suite_sizes_match_paper(self):
+        assert len(SUITES["spec2006fp"]) == 17
+        assert len(SUITES["nas"]) == 8
+        assert len(SUITES["commercial"]) == 5
+
+    def test_all_benchmarks_registered(self):
+        assert len(BENCHMARKS) == 30
+
+    def test_focus_benchmarks_exist(self):
+        assert len(FOCUS_BENCHMARKS) == 8
+        for name in FOCUS_BENCHMARKS:
+            assert name in BENCHMARKS
+
+    def test_focus_set_matches_paper(self):
+        assert set(FOCUS_BENCHMARKS) == {
+            "bwaves", "milc", "GemsFDTD", "tonto",
+            "tpcc", "trade2", "sap", "notesbench",
+        }
+
+    def test_suite_membership_consistent(self):
+        for suite, names in SUITES.items():
+            for name in names:
+                assert BENCHMARKS[name].suite == suite
+
+
+class TestProfiles:
+    def test_all_workloads_validate(self):
+        for profile in BENCHMARKS.values():
+            profile.workload.validate()
+
+    def test_workload_names_match(self):
+        for name, profile in BENCHMARKS.items():
+            assert profile.workload.name == name
+
+    def test_paper_light_benchmarks_flagged(self):
+        # "gamess, namd, povray, and calculix are not memory intensive"
+        for name in ("gamess", "namd", "povray", "calculix", "ep"):
+            assert not get_profile(name).memory_intensive
+
+    def test_light_benchmarks_mostly_cached(self):
+        for name in ("gamess", "namd", "povray"):
+            assert get_profile(name).workload.hot_fraction >= 0.9
+
+    def test_heavy_benchmarks_low_gap(self):
+        for name in ("bwaves", "lbm", "leslie3d"):
+            assert get_profile(name).workload.gap_mean <= 40
+
+    def test_commercial_profiles_have_phases(self):
+        for name in SUITES["commercial"]:
+            assert get_profile(name).workload.phases
+
+    def test_gemsfdtd_has_phases(self):
+        # the paper's Figure 3 showcase must vary across epochs
+        assert len(get_profile("GemsFDTD").workload.phases) == 3
+
+    def test_descriptions_present(self):
+        for profile in BENCHMARKS.values():
+            assert profile.description
+
+
+class TestLookups:
+    def test_get_profile(self):
+        assert get_profile("bwaves").name == "bwaves"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_suite_benchmarks_unknown(self):
+        with pytest.raises(KeyError):
+            suite_benchmarks("spec2049")
+
+    def test_suite_benchmarks_order_stable(self):
+        assert suite_benchmarks("spec2006fp")[0] == "bwaves"

@@ -1,0 +1,66 @@
+"""API stability tests: the documented public surface exists and is
+importable, and public items carry documentation."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_names(self):
+        # the names used in README/docstring examples
+        for name in ("make_config", "generate_trace", "get_profile", "simulate"):
+            assert name in repro.__all__
+
+    def test_config_names_exported(self):
+        from repro import SystemConfig
+
+        cfg = SystemConfig()
+        assert cfg.validate() is cfg
+
+
+def _public_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        out.append(info.name)
+    return out
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", _public_modules())
+    def test_every_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", _public_modules())
+    def test_public_classes_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module_name:
+                continue  # re-export
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    @pytest.mark.parametrize("module_name", _public_modules())
+    def test_public_functions_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isfunction(obj):
+                continue
+            if obj.__module__ != module_name:
+                continue
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,63 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import LRUPolicy, TreePLRUPolicy
+
+
+class TestLRU:
+    def test_initial_victim_is_way_zero(self):
+        assert LRUPolicy(1, 4).victim(0) == 0
+
+    def test_touch_moves_to_mru(self):
+        p = LRUPolicy(1, 4)
+        p.touch(0, 0)
+        assert p.victim(0) == 1
+
+    def test_full_rotation(self):
+        p = LRUPolicy(1, 3)
+        for way in (0, 1, 2):
+            p.touch(0, way)
+        assert p.victim(0) == 0
+
+    def test_sets_are_independent(self):
+        p = LRUPolicy(2, 2)
+        p.touch(0, 0)
+        assert p.victim(1) == 0
+
+    def test_fill_counts_as_touch(self):
+        p = LRUPolicy(1, 2)
+        p.fill(0, 0)
+        assert p.victim(0) == 1
+
+
+class TestTreePLRU:
+    def test_victim_in_range(self):
+        p = TreePLRUPolicy(1, 8)
+        for way in range(8):
+            p.touch(0, way)
+            assert 0 <= p.victim(0) < 8
+
+    def test_victim_avoids_most_recent(self):
+        p = TreePLRUPolicy(1, 4)
+        for way in range(4):
+            p.touch(0, way)
+            assert p.victim(0) != way
+
+    def test_single_way_degenerate(self):
+        p = TreePLRUPolicy(1, 1)
+        p.touch(0, 0)
+        assert p.victim(0) == 0
+
+    def test_non_power_of_two_assoc(self):
+        p = TreePLRUPolicy(1, 10)
+        for way in range(10):
+            p.touch(0, way)
+        assert 0 <= p.victim(0) < 10
+
+    def test_alternating_touch_pattern(self):
+        p = TreePLRUPolicy(1, 2)
+        p.touch(0, 0)
+        assert p.victim(0) == 1
+        p.touch(0, 1)
+        assert p.victim(0) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for RunResult metrics."""
+
+import pytest
+
+from repro.dram.power import PowerReport
+from repro.system.results import RunResult
+
+
+def make_result(cycles=1000, stats=None, power=None, **kw):
+    defaults = dict(
+        config_name="PMS",
+        benchmark="demo",
+        cycles=cycles,
+        instructions=8000,
+        cpu_ratio=8,
+        stats=stats or {},
+        power=power,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+def make_power(energy, power_mw):
+    return PowerReport(
+        elapsed_ns=1.0,
+        energy_uj=energy,
+        avg_power_mw=power_mw,
+        activate_energy_uj=0,
+        burst_energy_uj=0,
+        background_energy_uj=energy,
+    )
+
+
+class TestPerformance:
+    def test_cpu_cycles(self):
+        assert make_result(cycles=10).cpu_cycles == 80
+
+    def test_ipc(self):
+        r = make_result(cycles=1000)
+        assert r.ipc == pytest.approx(1.0)
+
+    def test_gain_vs(self):
+        fast = make_result(cycles=800)
+        slow = make_result(cycles=1000)
+        assert fast.gain_vs(slow) == pytest.approx(25.0)
+        assert slow.gain_vs(fast) == pytest.approx(-20.0)
+
+    def test_normalized_time(self):
+        a = make_result(cycles=1200)
+        b = make_result(cycles=1000)
+        assert a.normalized_time_vs(b) == pytest.approx(1.2)
+
+
+class TestEfficiencyMetrics:
+    def test_coverage(self):
+        r = make_result(
+            stats={
+                "mc.pb_hits_pre_caq": 15,
+                "mc.pb_hits_caq": 5,
+                "mc.reads_arrived": 100,
+            }
+        )
+        assert r.coverage == pytest.approx(0.20)
+
+    def test_coverage_no_reads(self):
+        assert make_result().coverage == 0.0
+
+    def test_useful_fraction(self):
+        r = make_result(stats={"pb.inserts": 10, "pb.read_hits": 9})
+        assert r.useful_prefetch_fraction == pytest.approx(0.9)
+
+    def test_delayed_fraction(self):
+        r = make_result(
+            stats={"mc.delayed_regular": 2, "mc.issued_regular": 100}
+        )
+        assert r.delayed_regular_fraction == pytest.approx(0.02)
+
+
+class TestPowerMetrics:
+    def test_power_increase(self):
+        pms = make_result(power=make_power(90, 103))
+        ps = make_result(power=make_power(100, 100))
+        assert pms.power_increase_vs(ps) == pytest.approx(3.0)
+
+    def test_energy_reduction(self):
+        pms = make_result(power=make_power(90, 103))
+        ps = make_result(power=make_power(100, 100))
+        assert pms.energy_reduction_vs(ps) == pytest.approx(10.0)
+
+    def test_missing_power_raises(self):
+        with pytest.raises(ValueError):
+            make_result().power_increase_vs(make_result())
+
+    def test_summary_contains_benchmark(self):
+        assert "demo" in make_result().summary()

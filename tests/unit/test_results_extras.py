@@ -1,0 +1,48 @@
+"""Unit tests for RunResult extras: occupancy averages and JSON export."""
+
+import json
+
+import pytest
+
+from repro import Trace, make_config, simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    records = [(2, (1 << 34) + i, False) for i in range(300)]
+    return simulate(make_config("PMS"), Trace(records, name="unit"))
+
+
+class TestQueueOccupancy:
+    def test_occupancies_non_negative(self, result):
+        for queue in ("read_queue", "write_queue", "caq", "lpq"):
+            assert result.avg_queue_occupancy(queue) >= 0.0
+
+    def test_bounded_by_depths(self, result):
+        assert result.avg_queue_occupancy("caq") <= 3
+        assert result.avg_queue_occupancy("lpq") <= 3
+        assert result.avg_queue_occupancy("read_queue") <= 8
+
+    def test_zero_ticks_safe(self):
+        from repro.system.results import RunResult
+
+        empty = RunResult("NP", "x", 0, 0, 8)
+        assert empty.avg_queue_occupancy() == 0.0
+
+
+class TestToDict:
+    def test_json_round_trips(self, result):
+        payload = json.dumps(result.to_dict())
+        back = json.loads(payload)
+        assert back["config"] == "PMS"
+        assert back["benchmark"] == "unit"
+        assert back["cycles"] == result.cycles
+
+    def test_power_section_present(self, result):
+        d = result.to_dict()
+        assert d["power"]["energy_uj"] > 0
+
+    def test_derived_metrics_included(self, result):
+        d = result.to_dict()
+        assert 0 <= d["coverage"] <= 1
+        assert d["avg_demand_latency_mc"] > 0

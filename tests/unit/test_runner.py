@@ -1,0 +1,64 @@
+"""Unit tests for the experiment runner's environment handling."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def clean(monkeypatch):
+    runner.clear_cache()
+    monkeypatch.delenv("REPRO_TRACE_ACCESSES", raising=False)
+    monkeypatch.delenv("REPRO_SEED", raising=False)
+    yield
+    runner.clear_cache()
+
+
+class TestDefaults:
+    def test_default_accesses(self):
+        assert runner.default_accesses() == 20_000
+
+    def test_env_overrides_accesses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ACCESSES", "777")
+        assert runner.default_accesses() == 777
+
+    def test_default_seed(self):
+        assert runner.default_seed() == 1
+
+    def test_env_overrides_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert runner.default_seed() == 42
+
+
+class TestTraceCache:
+    def test_same_key_same_object(self):
+        a = runner.get_trace("tonto", 500, seed=1)
+        b = runner.get_trace("tonto", 500, seed=1)
+        assert a is b
+
+    def test_different_seed_different_trace(self):
+        a = runner.get_trace("tonto", 500, seed=1)
+        b = runner.get_trace("tonto", 500, seed=2)
+        assert a.records != b.records
+
+    def test_cache_info_counts(self):
+        runner.get_trace("tonto", 500)
+        runner.get_trace("milc", 500)
+        assert runner.cache_info() == {"traces": 2, "runs": 0}
+
+
+class TestRunConfigs:
+    def test_run_configs_keys(self):
+        results = runner.run_configs("tonto", ("NP", "MS"), accesses=800)
+        assert set(results) == {"NP", "MS"}
+        assert results["NP"].config_name == "NP"
+
+    def test_run_suite_shape(self):
+        results = runner.run_suite(("tonto",), ("NP",), accesses=800)
+        assert set(results) == {"tonto"}
+        assert set(results["tonto"]) == {"NP"}
+
+    def test_scheduler_in_cache_key(self):
+        a = runner.run("tonto", "NP", accesses=800, scheduler="ahb")
+        b = runner.run("tonto", "NP", accesses=800, scheduler="in_order")
+        assert a is not b

@@ -1,0 +1,70 @@
+"""Unit tests for the exact-SLH tracker and accuracy metric."""
+
+import pytest
+
+from repro.analysis.slh_accuracy import exact_slh, slh_rms_error
+
+
+class TestExactSLH:
+    def test_single_stream(self):
+        bars = exact_slh([10, 11, 12, 13], table_len=8)
+        assert bars[4] == pytest.approx(1.0)
+
+    def test_isolated_reads(self):
+        bars = exact_slh([10, 50, 90], table_len=8)
+        assert bars[1] == pytest.approx(1.0)
+
+    def test_mixture(self):
+        # one length-1 plus one length-3: 1 + 3 reads
+        bars = exact_slh([100, 10, 11, 12], table_len=8)
+        assert bars[1] == pytest.approx(0.25)
+        assert bars[3] == pytest.approx(0.75)
+
+    def test_descending_stream(self):
+        bars = exact_slh([20, 19, 18], table_len=8)
+        assert bars[3] == pytest.approx(1.0)
+
+    def test_interleaved_streams(self):
+        seq = [10, 500, 11, 501, 12, 502]
+        bars = exact_slh(seq, table_len=8)
+        assert bars[3] == pytest.approx(1.0)
+
+    def test_window_splits_quiet_streams(self):
+        # the second touch arrives far outside the liveness window
+        seq = [10] + [1000 + i * 10 for i in range(80)] + [11]
+        bars = exact_slh(seq, table_len=8, window=16)
+        assert bars[2] == pytest.approx(0.0)
+
+    def test_tail_bar_aggregates(self):
+        seq = list(range(100, 110))  # length-10 stream, Lm=4
+        bars = exact_slh(seq, table_len=4)
+        assert bars[4] == pytest.approx(1.0)
+
+    def test_empty_sequence(self):
+        assert all(b == 0 for b in exact_slh([], table_len=4))
+
+    def test_bars_sum_to_one(self):
+        seq = [1, 2, 3, 50, 51, 99, 200, 201, 202, 203]
+        bars = exact_slh(seq, table_len=16)
+        assert sum(bars[1:]) == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            exact_slh([1], table_len=1)
+        with pytest.raises(ValueError):
+            exact_slh([1], window=0)
+
+
+class TestRMSError:
+    def test_identical_vectors(self):
+        assert slh_rms_error([0, 0.5, 0.5], [0, 0.5, 0.5]) == 0.0
+
+    def test_known_error(self):
+        assert slh_rms_error([0, 1.0, 0.0], [0, 0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            slh_rms_error([0, 1], [0, 1, 2])
+
+    def test_index_zero_excluded(self):
+        assert slh_rms_error([5.0, 0.5], [0.0, 0.5]) == 0.0

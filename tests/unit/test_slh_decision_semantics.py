@@ -1,0 +1,77 @@
+"""Semantic tests: the LHT decision equals the probabilistic statement.
+
+The paper derives inequality (5) from "P(stream has exactly length k)
+< P(stream longer than k)".  These tests verify the implementation
+against that probability statement computed independently from a
+stream population.
+"""
+
+import random
+
+import pytest
+
+from repro.common.config import SLHConfig
+from repro.prefetch.slh import LikelihoodTables
+
+
+def tables_from_population(lengths, lm=16):
+    t = LikelihoodTables(SLHConfig(table_len=lm, epoch_reads=10**6))
+    for length in lengths:
+        t.record_stream(length)
+    t.rollover()
+    return t
+
+
+def read_mass_exactly(lengths, k, lm=16):
+    """Reads belonging to streams of exactly length k (k=lm: >= lm)."""
+    if k == lm:
+        return sum(l for l in lengths if l >= lm)
+    return sum(l for l in lengths if l == k)
+
+
+def read_mass_longer(lengths, k):
+    return sum(l for l in lengths if l > k)
+
+
+class TestProbabilityEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decision_matches_population_probability(self, seed):
+        rng = random.Random(seed)
+        lengths = [rng.randint(1, 14) for _ in range(200)]
+        t = tables_from_population(lengths)
+        for k in range(1, 15):
+            exactly = read_mass_exactly(lengths, k)
+            longer = read_mass_longer(lengths, k)
+            assert t.should_prefetch(k) == (exactly < longer), (seed, k)
+
+    def test_paper_fig2_decisions(self):
+        # construct a population matching Figure 2's bar percentages
+        # (x10 streams of each length so read mass matches the bars)
+        lengths = (
+            [1] * 218 + [2] * 218 + [3] * 20 + [4] * 12 + [5] * 8
+            + [6] * 7 + [7] * 7 + [16] * 11
+        )
+        t = tables_from_population(lengths)
+        # paper: prefetch at k=1, stop at k=2
+        assert t.should_prefetch(1)
+        assert not t.should_prefetch(2)
+
+    def test_all_same_length_population(self):
+        t = tables_from_population([5] * 50)
+        # before the stream's end: always continue
+        for k in range(1, 5):
+            assert t.should_prefetch(k)
+        # at the known end: stop
+        assert not t.should_prefetch(5)
+
+    def test_uniform_lengths_cutoff(self):
+        # equal stream counts of lengths 1..8: read mass is triangular,
+        # so prefetch while the remaining triangle outweighs level k
+        lengths = list(range(1, 9)) * 30
+        t = tables_from_population(lengths)
+        expected = [
+            read_mass_exactly(lengths, k) < read_mass_longer(lengths, k)
+            for k in range(1, 9)
+        ]
+        actual = [t.should_prefetch(k) for k in range(1, 9)]
+        assert actual == expected

@@ -1,0 +1,62 @@
+"""Unit tests for the SLH figure utilities."""
+
+import pytest
+
+from repro.common.config import CacheConfig, HierarchyConfig, StreamFilterConfig, SystemConfig
+from repro.experiments.slh_figures import filter_slh, mc_read_stream
+from repro.workloads.trace import Trace
+
+
+def tiny_config():
+    return SystemConfig(
+        hierarchy=HierarchyConfig(
+            l1=CacheConfig(256, 2, latency=1),
+            l2=CacheConfig(512, 2, latency=10),
+            l3=CacheConfig(1024, 2, latency=50),
+        )
+    )
+
+
+class TestMCReadStream:
+    def test_cold_reads_pass_through(self):
+        trace = Trace([(0, 100, False), (0, 200, False)])
+        assert mc_read_stream(trace, tiny_config()) == [100, 200]
+
+    def test_rereferenced_line_filtered(self):
+        trace = Trace([(0, 100, False), (0, 100, False)])
+        assert mc_read_stream(trace, tiny_config()) == [100]
+
+    def test_stores_invisible(self):
+        trace = Trace([(0, 100, True), (0, 200, False)])
+        assert mc_read_stream(trace, tiny_config()) == [200]
+
+    def test_order_preserved(self):
+        lines = [10, 500, 20, 600, 30]
+        trace = Trace([(0, l, False) for l in lines])
+        assert mc_read_stream(trace, tiny_config()) == lines
+
+
+class TestFilterSLH:
+    def test_single_stream(self):
+        bars = filter_slh([10, 11, 12, 13])
+        assert bars[4] == pytest.approx(1.0)
+
+    def test_isolated_reads(self):
+        bars = filter_slh([10, 50, 90, 130])
+        assert bars[1] == pytest.approx(1.0)
+
+    def test_slot_pressure_splits_streams(self):
+        # 1-slot filter with two interleaved streams: the second stream
+        # can never allocate, so its reads record as length-1
+        cfg = StreamFilterConfig(slots=1, lifetime_init=16,
+                                 lifetime_increment=16, lifetime_cap=64)
+        seq = [10, 500, 11, 501, 12, 502]
+        bars = filter_slh(seq, cfg)
+        assert bars[1] >= 0.5 - 1e-9
+
+    def test_bars_normalised(self):
+        bars = filter_slh([1, 2, 3, 100, 200, 201])
+        assert abs(sum(bars[1:]) - 1.0) < 1e-9
+
+    def test_empty_sequence(self):
+        assert all(b == 0 for b in filter_slh([]))

@@ -1,0 +1,79 @@
+"""Unit tests for repro.common.stats."""
+
+from repro.common.stats import Stats
+
+
+class TestStats:
+    def test_missing_key_reads_zero(self):
+        assert Stats()["nothing"] == 0
+
+    def test_bump_default_one(self):
+        s = Stats()
+        s.bump("x")
+        assert s["x"] == 1
+
+    def test_bump_amount(self):
+        s = Stats()
+        s.bump("x", 2.5)
+        s.bump("x", 0.5)
+        assert s["x"] == 3.0
+
+    def test_set_overwrites(self):
+        s = Stats()
+        s.bump("x", 10)
+        s.set("x", 3)
+        assert s["x"] == 3
+
+    def test_contains(self):
+        s = Stats()
+        assert "x" not in s
+        s.bump("x")
+        assert "x" in s
+
+    def test_iteration_sorted(self):
+        s = Stats()
+        s.bump("b")
+        s.bump("a")
+        assert [k for k, _ in s] == ["a", "b"]
+
+    def test_len(self):
+        s = Stats()
+        s.bump("a")
+        s.bump("b")
+        assert len(s) == 2
+
+    def test_as_dict_snapshot(self):
+        s = Stats()
+        s.bump("a")
+        d = s.as_dict()
+        d["a"] = 99
+        assert s["a"] == 1
+
+    def test_merge_with_prefix(self):
+        a = Stats()
+        a.bump("hits", 2)
+        b = Stats()
+        b.merge(a, "l1.")
+        assert b["l1.hits"] == 2
+
+    def test_merge_accumulates(self):
+        a = Stats()
+        a.bump("x", 1)
+        b = Stats()
+        b.bump("x", 2)
+        b.merge(a)
+        assert b["x"] == 3
+
+    def test_merge_plain_mapping(self):
+        s = Stats()
+        s.merge({"y": 4})
+        assert s["y"] == 4
+
+    def test_ratio(self):
+        s = Stats()
+        s.bump("hits", 3)
+        s.bump("total", 4)
+        assert s.ratio("hits", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("a", "b") == 0.0

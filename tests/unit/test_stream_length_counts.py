@@ -1,0 +1,42 @@
+"""Unit tests for the Figure 12 stream counter."""
+
+import pytest
+
+from repro.experiments.stream_lengths import stream_length_counts
+
+
+class TestCounting:
+    def test_single_stream(self):
+        assert stream_length_counts([5, 6, 7]) == {3: 1}
+
+    def test_isolated_lines(self):
+        assert stream_length_counts([5, 50, 500]) == {1: 3}
+
+    def test_mixture(self):
+        counts = stream_length_counts([5, 6, 100, 200, 201, 202])
+        assert counts == {2: 1, 1: 1, 3: 1}
+
+    def test_descending(self):
+        assert stream_length_counts([9, 8, 7, 6]) == {4: 1}
+
+    def test_interleaved(self):
+        counts = stream_length_counts([1, 100, 2, 101, 3, 102])
+        assert counts == {3: 2}
+
+    def test_window_splits(self):
+        seq = [1] + [1000 + i * 5 for i in range(80)] + [2]
+        counts = stream_length_counts(seq, window=8)
+        # the distant continuation is a new stream
+        assert counts.get(2, 0) == 0
+
+    def test_empty(self):
+        assert stream_length_counts([]) == {}
+
+    def test_total_reads_conserved(self):
+        seq = [1, 2, 3, 50, 51, 99, 200, 201, 202, 203]
+        counts = stream_length_counts(seq)
+        assert sum(length * n for length, n in counts.items()) == len(seq)
+
+    def test_direction_flip_not_double_counted(self):
+        # 10, 9 is one descending stream of length 2
+        assert stream_length_counts([10, 9]) == {2: 1}

@@ -1,0 +1,45 @@
+"""Unit tests for the trace format."""
+
+import pytest
+
+from repro.workloads.trace import Trace, TraceRecord
+
+
+class TestTrace:
+    def test_len_and_index(self):
+        t = Trace([(1, 100, False), (2, 200, True)])
+        assert len(t) == 2
+        assert t[1] == TraceRecord(2, 200, True)
+
+    def test_iteration_yields_records(self):
+        t = Trace([(1, 100, False)])
+        records = list(t)
+        assert records == [TraceRecord(1, 100, False)]
+
+    def test_instruction_count(self):
+        t = Trace([(9, 100, False), (4, 200, False)])
+        assert t.instructions == 15
+
+    def test_unique_lines(self):
+        t = Trace([(0, 1, False), (0, 1, True), (0, 2, False)])
+        assert t.unique_lines == 2
+
+    def test_write_fraction(self):
+        t = Trace([(0, 1, False), (0, 2, True)])
+        assert t.write_fraction == 0.5
+
+    def test_write_fraction_empty(self):
+        assert Trace([]).write_fraction == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = Trace([(1, 100, False), (2, 200, True)], name="demo")
+        path = tmp_path / "trace.txt"
+        t.save(str(path))
+        loaded = Trace.load(str(path), name="demo")
+        assert loaded.records == t.records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n3 42 1\n")
+        loaded = Trace.load(str(path))
+        assert loaded.records == [(3, 42, True)]

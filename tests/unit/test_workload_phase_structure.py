@@ -1,0 +1,66 @@
+"""Unit tests: phase rounds show up in the generated traces."""
+
+import pytest
+
+from repro.analysis.slh_accuracy import exact_slh
+from repro.workloads.synthetic import StreamWorkload, WorkloadPhase, generate_trace
+
+
+def phased_workload(round_size=400):
+    return StreamWorkload(
+        name="phased",
+        length_dist={4: 1.0},
+        gap_mean=0,
+        hot_fraction=0.0,
+        write_fraction=0.0,
+        descending_fraction=0.0,
+        interleave=1,
+        burstiness=1.0,
+        phases=(
+            WorkloadPhase(weight=0.5, length_dist={1: 1.0}),
+            WorkloadPhase(weight=0.5, length_dist={8: 1.0}),
+        ),
+        phase_round=round_size,
+    )
+
+
+class TestPhaseRounds:
+    def test_first_segment_is_phase_one(self):
+        trace = generate_trace(phased_workload(), 800, seed=2)
+        first = [r[1] for r in trace.records[:150]]
+        bars = exact_slh(first)
+        assert bars[1] > 0.9  # isolated lines
+
+    def test_second_segment_is_phase_two(self):
+        trace = generate_trace(phased_workload(), 800, seed=2)
+        second = [r[1] for r in trace.records[250:390]]
+        bars = exact_slh(second)
+        assert bars[8] > 0.6  # 8-line runs
+
+    def test_rounds_repeat(self):
+        trace = generate_trace(phased_workload(), 1200, seed=2)
+        third = [r[1] for r in trace.records[420:560]]  # round 2, phase 1
+        bars = exact_slh(third)
+        assert bars[1] > 0.8
+
+    def test_weights_control_segment_sizes(self):
+        wl = phased_workload()
+        wl = StreamWorkload(
+            **{**wl.__dict__,
+               "phases": (
+                   WorkloadPhase(weight=0.25, length_dist={1: 1.0}),
+                   WorkloadPhase(weight=0.75, length_dist={8: 1.0}),
+               )}
+        )
+        trace = generate_trace(wl, 400, seed=2)
+        head = [r[1] for r in trace.records[:80]]
+        tail = [r[1] for r in trace.records[150:350]]
+        assert exact_slh(head)[1] > 0.8
+        assert exact_slh(tail)[8] > 0.6
+
+    def test_streams_survive_phase_boundary(self):
+        # a live stream at the boundary continues into the next segment
+        wl = phased_workload(round_size=10)  # tiny rounds force carries
+        trace = generate_trace(wl, 200, seed=2)
+        lines = [r[1] for r in trace.records]
+        assert len(set(lines)) == len(lines)  # still all-unique cold lines

@@ -1,0 +1,52 @@
+"""Calibration sweep: all benchmarks x {NP, PS, MS, PMS}.
+
+Prints per-benchmark gains and suite averages next to the paper's
+reported averages.  Used during development to tune workload profiles;
+kept as a maintenance tool.
+"""
+
+import sys
+import time
+
+from repro import SUITES, generate_trace, get_profile, make_config, simulate
+
+N_ACCESSES = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+SEED = 1
+
+PAPER = {  # suite -> (MS vs NP, PMS vs NP, PMS vs PS)
+    "spec2006fp": (14.6, 32.7, 10.2),
+    "nas": (11.7, 24.2, 8.1),
+    "commercial": (9.3, 15.1, 8.4),
+}
+
+
+def main() -> None:
+    for suite, names in SUITES.items():
+        sums = [0.0, 0.0, 0.0]
+        print(f"== {suite} ==")
+        for name in names:
+            t0 = time.time()
+            trace = generate_trace(get_profile(name).workload, N_ACCESSES, seed=SEED)
+            rs = {c: simulate(make_config(c), trace) for c in ("NP", "PS", "MS", "PMS")}
+            ms = rs["MS"].gain_vs(rs["NP"])
+            pms = rs["PMS"].gain_vs(rs["NP"])
+            vs_ps = rs["PMS"].gain_vs(rs["PS"])
+            ps = rs["PS"].gain_vs(rs["NP"])
+            sums[0] += ms
+            sums[1] += pms
+            sums[2] += vs_ps
+            print(
+                f"  {name:<11} PS:{ps:+6.1f}%  MS:{ms:+6.1f}%  PMS:{pms:+6.1f}%  "
+                f"PMSvsPS:{vs_ps:+6.1f}%   ({time.time() - t0:.0f}s)"
+            )
+        n = len(names)
+        p = PAPER[suite]
+        print(
+            f"  AVG          MS:{sums[0] / n:+6.1f}% (paper {p[0]:+.1f})  "
+            f"PMS:{sums[1] / n:+6.1f}% (paper {p[1]:+.1f})  "
+            f"PMSvsPS:{sums[2] / n:+6.1f}% (paper {p[2]:+.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()
