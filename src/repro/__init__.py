@@ -56,6 +56,12 @@ from repro.prefetch import (
     slh_bars,
 )
 from repro.system import RunResult, System, make_config, simulate
+from repro.telemetry import (
+    NULL_TRACER,
+    EpochProbes,
+    TelemetrySession,
+    Tracer,
+)
 from repro.workloads import (
     BENCHMARKS,
     FOCUS_BENCHMARKS,
@@ -83,10 +89,12 @@ __all__ = [
     "DRAMConfig",
     "DRAMPowerConfig",
     "DRAMTimingConfig",
+    "EpochProbes",
     "FOCUS_BENCHMARKS",
     "HierarchyConfig",
     "LikelihoodTables",
     "LINE_SIZE",
+    "NULL_TRACER",
     "MemoryCommand",
     "MemorySidePrefetcher",
     "MemorySidePrefetcherConfig",
@@ -103,7 +111,9 @@ __all__ = [
     "SUITES",
     "System",
     "SystemConfig",
+    "TelemetrySession",
     "Trace",
+    "Tracer",
     "generate_trace",
     "get_profile",
     "make_config",

@@ -9,6 +9,12 @@ Commands:
 * ``figure``    — regenerate one paper figure/table by id
 * ``trace``     — generate and save a synthetic trace
 * ``cost``      — the hardware-cost table (Section 5.1)
+* ``telemetry`` — run one benchmark with full instrumentation and
+  export/print the epoch-resolved series (see docs/telemetry.md)
+
+``run`` and ``compare`` accept ``--trace-events PATH`` (JSONL event
+log) and ``--probe-interval N`` (sample epoch series every N epochs);
+both default to off, costing nothing.
 """
 
 from __future__ import annotations
@@ -62,6 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="trace length in memory accesses")
         p.add_argument("--seed", type=int, default=1)
 
+    def telem(p):
+        p.add_argument("--trace-events", metavar="PATH", default=None,
+                       help="write a JSONL event log to PATH")
+        p.add_argument("--probe-interval", type=int, metavar="N",
+                       default=None,
+                       help="sample epoch-resolved series every N epochs")
+
     run = sub.add_parser("run", help="one benchmark, one configuration")
     run.add_argument("-b", "--benchmark", required=True)
     run.add_argument("-c", "--config", default="PMS")
@@ -71,10 +84,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit the full result as JSON")
     common(run)
+    telem(run)
 
     compare = sub.add_parser("compare", help="NP/PS/MS/PMS on one benchmark")
     compare.add_argument("-b", "--benchmark", required=True)
     common(compare)
+    telem(compare)
 
     suite = sub.add_parser("suite", help="a whole suite (Figure 5/6/7 table)")
     suite.add_argument("-s", "--suite", required=True, choices=sorted(SUITES))
@@ -91,7 +106,34 @@ def _build_parser() -> argparse.ArgumentParser:
     cost = sub.add_parser("cost", help="hardware cost table")
     cost.add_argument("--threads", type=int, nargs="+", default=(1, 2, 4))
 
+    tel = sub.add_parser(
+        "telemetry", help="instrumented run: epoch series + event log"
+    )
+    tel.add_argument("-b", "--benchmark", required=True)
+    tel.add_argument("-c", "--config", default="PMS")
+    tel.add_argument("--probe-interval", type=int, metavar="N", default=1,
+                     help="sample epoch series every N epochs (default 1)")
+    tel.add_argument("--events", metavar="PATH", default=None,
+                     help="also write a JSONL event log to PATH")
+    tel.add_argument("--series-csv", metavar="PATH", default=None,
+                     help="write scalar epoch series to a CSV file")
+    tel.add_argument("--series-json", metavar="PATH", default=None,
+                     help="write all epoch series (SLH included) to JSON")
+    tel.add_argument("--rows", type=int, default=20,
+                     help="epoch-report rows to print (default 20)")
+    common(tel)
+
     return parser
+
+
+def _make_session(trace_events, probe_interval):
+    """A TelemetrySession when either telemetry flag was given, else None."""
+    if trace_events is None and probe_interval is None:
+        return None
+    from repro.telemetry.session import TelemetrySession
+
+    return TelemetrySession(trace_events=trace_events,
+                            probe_interval=probe_interval)
 
 
 def _cmd_list() -> int:
@@ -115,7 +157,17 @@ def _cmd_run(args) -> int:
     ]
     config = make_config(args.config, threads=args.threads,
                          scheduler=args.scheduler)
-    result = simulate(config, traces)
+    session = _make_session(args.trace_events, args.probe_interval)
+    result = simulate(
+        config,
+        traces,
+        tracer=session.tracer if session else None,
+        probes=session.probes if session else None,
+    )
+    if session is not None:
+        session.close()
+        if session.writer is not None and result.telemetry is not None:
+            result.telemetry["events_written"] = session.writer.events_written
     if args.json:
         import json
 
@@ -135,7 +187,22 @@ def _cmd_run(args) -> int:
     if result.power:
         print(f"  DRAM energy        {result.power.energy_uj:.1f} uJ "
               f"({result.power.avg_power_mw:.0f} mW avg)")
+    if session is not None:
+        tracer = session.tracer
+        print(f"  telemetry          {tracer.total_events} events, "
+              f"{tracer.overhead_seconds() * 1e3:.1f} ms overhead")
+        if session.probes is not None:
+            print()
+            print(session.report())
     return 0
+
+
+def _events_path_for(base: str, config_name: str) -> str:
+    """Per-config event-log path: ``out.jsonl`` -> ``out.NP.jsonl``."""
+    import os
+
+    root, ext = os.path.splitext(base)
+    return f"{root}.{config_name}{ext or '.jsonl'}"
 
 
 def _cmd_compare(args) -> int:
@@ -143,9 +210,21 @@ def _cmd_compare(args) -> int:
 
     profile = get_profile(args.benchmark)
     trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
-    results = {
-        name: simulate(make_config(name), trace) for name in CONFIG_NAMES
-    }
+    results = {}
+    for name in CONFIG_NAMES:
+        events = (
+            _events_path_for(args.trace_events, name)
+            if args.trace_events is not None else None
+        )
+        session = _make_session(events, args.probe_interval)
+        results[name] = simulate(
+            make_config(name),
+            trace,
+            tracer=session.tracer if session else None,
+            probes=session.probes if session else None,
+        )
+        if session is not None:
+            session.close()
     np_run = results["NP"]
     rows = []
     for name in CONFIG_NAMES:
@@ -206,6 +285,39 @@ def _cmd_cost(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.system.simulator import simulate
+    from repro.telemetry.session import TelemetrySession
+
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+    config = make_config(args.config)
+    session = TelemetrySession(trace_events=args.events,
+                               probe_interval=args.probe_interval)
+    result = simulate(config, trace, tracer=session.tracer,
+                      probes=session.probes)
+    session.close()
+
+    print(result.summary())
+    print()
+    print(session.report(max_rows=args.rows))
+    tracer = session.tracer
+    print()
+    print(f"events: {tracer.total_events} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(tracer.counts.items()))})")
+    print(f"tracer overhead: {tracer.overhead_seconds() * 1e3:.1f} ms")
+    if args.events:
+        print(f"event log: {args.events} "
+              f"({session.writer.events_written} events)")
+    if args.series_csv:
+        rows = session.export_csv(args.series_csv)
+        print(f"series CSV: {args.series_csv} ({rows} epochs)")
+    if args.series_json:
+        session.export_json(args.series_json)
+        print(f"series JSON: {args.series_json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     args = _build_parser().parse_args(argv)
@@ -217,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "trace": lambda: _cmd_trace(args),
         "cost": lambda: _cmd_cost(args),
+        "telemetry": lambda: _cmd_telemetry(args),
     }
     return handlers[args.command]()
 

@@ -32,9 +32,14 @@ from repro.controller.schedulers.base import Scheduler
 from repro.dram.device import DRAMDevice
 from repro.prefetch.adaptive_scheduling import SchedulerView
 from repro.prefetch.memory_side import MemorySidePrefetcher
+from repro.telemetry.events import QueueDepthSample
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 #: Called with (cmd, now) when a read's data is available to the chip.
 ReadCallback = Callable[[MemoryCommand, int], None]
+
+#: Ticks between QueueDepthSample events on an enabled tracer.
+QUEUE_SAMPLE_INTERVAL = 256
 
 
 class MemoryController:
@@ -47,6 +52,7 @@ class MemoryController:
         prefetcher: MemorySidePrefetcher,
         cpu_ratio: int = 8,
         on_read_complete: Optional[ReadCallback] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -54,6 +60,9 @@ class MemoryController:
         self.ms = prefetcher
         self.cpu_ratio = cpu_ratio
         self.on_read_complete = on_read_complete
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: set by the core: callable returning outstanding demand misses
+        self.core_depth_probe: Optional[Callable[[], int]] = None
         self.queues = ReorderQueues(config.read_queue_depth, config.write_queue_depth)
         self.caq = CommandQueue(config.caq_depth, "CAQ")
         self.scheduler: Scheduler = build_scheduler(config.scheduler)
@@ -108,7 +117,7 @@ class MemoryController:
     def tick(self, now: int) -> None:
         self._now = now
         self._deliver_completions(now)
-        self.ms.tick(now * self.cpu_ratio)
+        self.ms.tick(now * self.cpu_ratio, now)
         self._final_scheduler(now)
         self._reorder_to_caq(now)
         # occupancy integrals: averages fall out as sum / ticks
@@ -117,6 +126,18 @@ class MemoryController:
         self.stats.bump("occ_write_queue", len(self.queues.writes))
         self.stats.bump("occ_caq", len(self.caq))
         self.stats.bump("occ_lpq", len(self.ms.lpq))
+        if self.tracer.enabled and now % QUEUE_SAMPLE_INTERVAL == 0:
+            probe = self.core_depth_probe
+            self.tracer.emit(
+                QueueDepthSample(
+                    t=now,
+                    read_queue=len(self.queues.reads),
+                    write_queue=len(self.queues.writes),
+                    caq=len(self.caq),
+                    lpq=len(self.ms.lpq),
+                    core_outstanding=probe() if probe is not None else 0,
+                )
+            )
 
     def _deliver_completions(self, now: int) -> None:
         while self._completions and self._completions[0][0] <= now:

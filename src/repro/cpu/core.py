@@ -24,6 +24,8 @@ from repro.common.types import CommandKind, MemoryCommand, Provenance
 from repro.cache.hierarchy import CacheHierarchy, Level
 from repro.controller.controller import MemoryController
 from repro.prefetch.processor_side import ProcessorSidePrefetcher
+from repro.telemetry.events import PrefetchDiscard
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.trace import Trace
 
 
@@ -76,6 +78,7 @@ class Core:
         ps: ProcessorSidePrefetcher,
         controller: MemoryController,
         traces: List[Trace],
+        tracer: Optional[Tracer] = None,
     ) -> None:
         config.validate()
         if not traces:
@@ -84,6 +87,7 @@ class Core:
         self.hierarchy = hierarchy
         self.ps = ps
         self.controller = controller
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.contexts = [_ThreadContext(i, t) for i, t in enumerate(traces)]
         self.budget_per_thread = max(1, config.cpu_ratio // len(traces))
         # line -> contexts waiting for it (demand misses, incl. merges)
@@ -93,11 +97,16 @@ class Core:
         self.retired_instructions = 0
         self.stats = Stats()
         controller.on_read_complete = self._on_read_complete
+        controller.core_depth_probe = self.outstanding_misses
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
         return all(ctx.finished for ctx in self.contexts)
+
+    def outstanding_misses(self) -> int:
+        """Demand line misses currently in flight across all threads."""
+        return sum(len(ctx.outstanding) for ctx in self.contexts)
 
     def tick(self, now: int) -> None:
         for ctx in self.contexts:
@@ -226,6 +235,12 @@ class Core:
                 self.stats.bump("ps_issued")
             else:
                 self.stats.bump("ps_dropped_queue")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        PrefetchDiscard(
+                            t=now, line=req.line, reason="ps_queue_full"
+                        )
+                    )
 
     # ------------------------------------------------------------------
     def _on_read_complete(self, cmd: MemoryCommand, now: int) -> None:

@@ -16,6 +16,8 @@ from repro.common.stats import Stats
 from repro.common.types import MemoryCommand, Provenance
 from repro.dram.bank import Bank
 from repro.dram.power import DRAMPowerModel
+from repro.telemetry.events import DramCommand
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -60,9 +62,15 @@ class DRAMDevice:
     #: the FIFO CAQ from burying the bus arbitrarily deep.
     MAX_BUS_LEAD = 64
 
-    def __init__(self, config: DRAMConfig, power: Optional[DRAMPowerModel] = None):
+    def __init__(
+        self,
+        config: DRAMConfig,
+        power: Optional[DRAMPowerModel] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         config.validate()
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timing = config.timing
         self.amap = AddressMap(config.total_banks, config.row_lines)
         closed = config.page_policy == "closed"
@@ -169,6 +177,19 @@ class DRAMDevice:
             self.stats.bump("row_hits")
         if self.power is not None:
             self.power.record_access(cmd.is_write, activated)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                DramCommand(
+                    t=now,
+                    line=cmd.line,
+                    bank=bank_i,
+                    row=row,
+                    is_write=cmd.is_write,
+                    provenance=cmd.provenance.value,
+                    row_hit=not activated,
+                    completion=completion,
+                )
+            )
         return IssueResult(True, completion=completion)
 
     # ------------------------------------------------------------------

@@ -65,6 +65,38 @@ class DRAMPowerModel:
         else:
             self.read_bursts += 1
 
+    def snapshot(self) -> dict:
+        """Current activity counters (telemetry probes diff these)."""
+        return {
+            "activations": self.activations,
+            "read_bursts": self.read_bursts,
+            "write_bursts": self.write_bursts,
+        }
+
+    def interval_energy_uj(
+        self,
+        activations: int,
+        read_bursts: int,
+        write_bursts: int,
+        elapsed_mc_cycles: int,
+    ) -> float:
+        """Energy in microjoules of an activity interval.
+
+        Used both for the end-of-run report (with the run totals) and by
+        per-epoch telemetry probes (with counter deltas), so interval
+        power series sum back to the final report exactly.
+        """
+        t_ns = elapsed_mc_cycles * self.dram.timing.t_ck_ns
+        act_uj = activations * self.cfg.e_activate_nj * 1e-3
+        burst_uj = (
+            read_bursts * self.cfg.e_read_nj + write_bursts * self.cfg.e_write_nj
+        ) * 1e-3
+        bg_mw = self.dram.ranks * (
+            self.cfg.p_background_active_mw + self.cfg.p_refresh_mw
+        )
+        bg_uj = bg_mw * t_ns * 1e-6  # mW * ns = pJ; pJ -> uJ is 1e-6
+        return act_uj + burst_uj + bg_uj
+
     def finalize(self, elapsed_mc_cycles: int) -> PowerReport:
         """Produce the energy/power report for a run of the given length."""
         t_ns = elapsed_mc_cycles * self.dram.timing.t_ck_ns

@@ -21,6 +21,8 @@ from repro.common.config import SystemConfig
 from repro.system.presets import make_config
 from repro.system.results import RunResult
 from repro.system.simulator import simulate
+from repro.telemetry.probes import EpochProbes
+from repro.telemetry.tracer import Tracer
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import Trace
@@ -60,17 +62,27 @@ def run(
     scheduler: str = "ahb",
     mutate: Optional[Callable[[SystemConfig], SystemConfig]] = None,
     mutate_key: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    probes: Optional[EpochProbes] = None,
 ) -> RunResult:
     """Simulate one benchmark under one named configuration (cached).
 
     ``mutate`` applies a config transformation (e.g. a sensitivity-sweep
     override); pass a distinct ``mutate_key`` to make such runs
     cacheable, otherwise they bypass the cache.
+
+    ``tracer`` / ``probes`` pass through to :func:`simulate`.  Telemetry
+    enablement is part of the cache key, so a cached untraced result is
+    never returned for a traced request; traced runs themselves are not
+    cached (their side effects — emitted events, probe samples — are the
+    point of running them).
     """
     accesses = accesses or default_accesses()
     seed = default_seed() if seed is None else seed
-    key = (benchmark, config_name, accesses, seed, threads, scheduler, mutate_key)
-    cacheable = mutate is None or mutate_key is not None
+    traced = (tracer is not None and tracer.enabled) or probes is not None
+    key = (benchmark, config_name, accesses, seed, threads, scheduler,
+           mutate_key, traced)
+    cacheable = (mutate is None or mutate_key is not None) and not traced
     if cacheable and key in _run_cache:
         return _run_cache[key]
 
@@ -83,7 +95,7 @@ def run(
         traces = [
             get_trace(benchmark, accesses, seed + t) for t in range(threads)
         ]
-    result = simulate(config, traces)
+    result = simulate(config, traces, tracer=tracer, probes=probes)
     if cacheable:
         _run_cache[key] = result
     return result

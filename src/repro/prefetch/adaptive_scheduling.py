@@ -24,6 +24,8 @@ from typing import Callable, Dict, Optional
 
 from repro.common.config import AdaptiveSchedulingConfig
 from repro.common.stats import Stats
+from repro.telemetry.events import PolicyChange
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -81,9 +83,16 @@ class AdaptiveScheduler:
     boundary (the paper reuses the SLH epoch for policy adaptation).
     """
 
-    def __init__(self, config: AdaptiveSchedulingConfig) -> None:
+    def __init__(
+        self,
+        config: AdaptiveSchedulingConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         config.validate()
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: MC cycle of the surrounding epoch boundary (event timestamps)
+        self.now_mc = 0
         if config.fixed_policy is not None:
             self.policy = config.fixed_policy
         else:
@@ -110,6 +119,7 @@ class AdaptiveScheduler:
         self.stats.bump("epochs")
         if self.config.fixed_policy is not None:
             return
+        old_policy = self.policy
         if conflicts > self.config.raise_threshold and self.policy > 1:
             self.policy -= 1
             self.stats.bump("steps_conservative")
@@ -117,3 +127,12 @@ class AdaptiveScheduler:
             self.policy += 1
             self.stats.bump("steps_aggressive")
         self.stats.bump(f"epochs_at_policy_{self.policy}")
+        if self.policy != old_policy and self.tracer.enabled:
+            self.tracer.emit(
+                PolicyChange(
+                    t=self.now_mc,
+                    old_policy=old_policy,
+                    new_policy=self.policy,
+                    conflicts=conflicts,
+                )
+            )

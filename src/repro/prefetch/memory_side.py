@@ -26,6 +26,13 @@ from repro.prefetch.adaptive_scheduling import AdaptiveScheduler
 from repro.prefetch.engines import ASDEngine, PrefetchEngine, build_engine
 from repro.prefetch.lpq import LowPriorityQueue
 from repro.prefetch.prefetch_buffer import PrefetchBuffer
+from repro.telemetry.events import (
+    EpochBoundary,
+    PrefetchDiscard,
+    PrefetchHit,
+    PrefetchIssued,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 #: Callback: a regular read merged with an in-flight prefetch is ready.
 MergeCallback = Callable[[MemoryCommand], None]
@@ -34,14 +41,22 @@ MergeCallback = Callable[[MemoryCommand], None]
 class MemorySidePrefetcher:
     """Everything grey in the paper's Figure 4."""
 
-    def __init__(self, config: MemorySidePrefetcherConfig, threads: int = 1):
+    def __init__(
+        self,
+        config: MemorySidePrefetcherConfig,
+        threads: int = 1,
+        tracer: Optional[Tracer] = None,
+    ):
         config.validate()
         self.config = config
         self.enabled = config.enabled
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: MC cycle of the last controller tick (event timestamping)
+        self.now_mc = 0
         self.engine: PrefetchEngine = build_engine(config, threads)
-        self.buffer = PrefetchBuffer(config.buffer)
-        self.lpq = LowPriorityQueue(config.lpq_depth)
-        self.scheduler = AdaptiveScheduler(config.scheduling)
+        self.buffer = PrefetchBuffer(config.buffer, tracer=self.tracer)
+        self.lpq = LowPriorityQueue(config.lpq_depth, tracer=self.tracer)
+        self.scheduler = AdaptiveScheduler(config.scheduling, tracer=self.tracer)
         self.in_flight: Set[int] = set()
         #: regular reads waiting on an in-flight prefetch of their line
         self._merged: Dict[int, List[MemoryCommand]] = {}
@@ -59,6 +74,7 @@ class MemorySidePrefetcher:
         """Fork an entering Read into the stream-detection hardware."""
         if not self.enabled:
             return
+        self.now_mc = now_mc
         self.stats.bump("reads_observed")
         candidates = self.engine.observe_read(cmd.line, cmd.thread, now_cpu)
         for line in candidates:
@@ -67,8 +83,18 @@ class MemorySidePrefetcher:
         if self._reads_this_epoch >= self.config.slh.epoch_reads:
             self._reads_this_epoch = 0
             self.engine.epoch_flush()
+            self.scheduler.now_mc = now_mc
             self.scheduler.epoch_update()
             self.stats.bump("epochs")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EpochBoundary(
+                        t=now_mc,
+                        epoch=int(self.stats["epochs"]),
+                        reads=self.config.slh.epoch_reads,
+                        policy=self.scheduler.policy,
+                    )
+                )
 
     def _try_generate(self, line: int, thread: int, now_mc: int) -> None:
         """Dedup a candidate line and place it in the LPQ."""
@@ -101,6 +127,10 @@ class MemorySidePrefetcher:
         self.lpq.drop_line(line)
         if self.buffer.read_hit(line):
             self.stats.bump("buffer_hits")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    PrefetchHit(t=self.now_mc, line=line, where="buffer")
+                )
             return True
         return False
 
@@ -120,6 +150,10 @@ class MemorySidePrefetcher:
             return False
         self._merged.setdefault(cmd.line, []).append(cmd)
         self.stats.bump("merged_reads")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PrefetchHit(t=self.now_mc, line=cmd.line, where="merge")
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -140,6 +174,10 @@ class MemorySidePrefetcher:
     def notify_issue(self, cmd: MemoryCommand) -> None:
         self.in_flight.add(cmd.line)
         self.stats.bump("issued")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PrefetchIssued(t=self.now_mc, line=cmd.line, thread=cmd.thread)
+            )
 
     def notify_complete(self, cmd: MemoryCommand) -> None:
         self.in_flight.discard(cmd.line)
@@ -147,6 +185,14 @@ class MemorySidePrefetcher:
         if cmd.line in self._cancelled:
             self._cancelled.discard(cmd.line)
             self.stats.bump("completed_cancelled")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    PrefetchDiscard(
+                        t=self.now_mc,
+                        line=cmd.line,
+                        reason="cancelled_in_flight",
+                    )
+                )
             return
         self.buffer.insert(cmd.line)
         merged = self._merged.pop(cmd.line, None)
@@ -158,8 +204,16 @@ class MemorySidePrefetcher:
                 for waiting in merged:
                     self.on_merge_ready(waiting)
 
-    def tick(self, now_cpu: int) -> None:
-        """Let the engine expire time-based state (Stream Filter slots)."""
+    def tick(self, now_cpu: int, now_mc: Optional[int] = None) -> None:
+        """Let the engine expire time-based state (Stream Filter slots).
+
+        ``now_mc`` keeps the telemetry clock of this block and its
+        queues current; callers that never trace may omit it.
+        """
+        if now_mc is not None:
+            self.now_mc = now_mc
+            self.buffer.now_mc = now_mc
+            self.lpq.now_mc = now_mc
         if self.enabled:
             self.engine.tick(now_cpu)
 

@@ -17,10 +17,12 @@ displaced or invalidated untouched are *useless*.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.config import PrefetchBufferConfig
 from repro.common.stats import Stats
+from repro.telemetry.events import PrefetchDiscard
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 class _Entry:
@@ -34,9 +36,16 @@ class _Entry:
 class PrefetchBuffer:
     """Set-associative, LRU, read-once line buffer."""
 
-    def __init__(self, config: PrefetchBufferConfig) -> None:
+    def __init__(
+        self,
+        config: PrefetchBufferConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         config.validate()
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: MC cycle of the last controller tick (event timestamping)
+        self.now_mc = 0
         self.num_sets = config.entries // config.assoc
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._clock = 0
@@ -58,6 +67,12 @@ class PrefetchBuffer:
             victim = min(entries, key=entries.get)
             del entries[victim]
             self.stats.bump("evicted_unused")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    PrefetchDiscard(
+                        t=self.now_mc, line=victim, reason="evicted_unused"
+                    )
+                )
         entries[line] = self._clock
         self.stats.bump("inserts")
 
@@ -80,6 +95,12 @@ class PrefetchBuffer:
         if line in entries:
             del entries[line]
             self.stats.bump("write_invalidations")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    PrefetchDiscard(
+                        t=self.now_mc, line=line, reason="write_invalidate"
+                    )
+                )
             return True
         return False
 

@@ -118,6 +118,20 @@ class LikelihoodTables:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Telemetry view: the table state frozen as plain tuples.
+
+        ``epoch_start`` is the lht vector that became current at the
+        last rollover — the exact numbers inequality (5)/(6) tests
+        against during the running epoch.
+        """
+        return {
+            "epochs": self.epochs,
+            "epoch_start": tuple(self.epoch_start),
+            "curr": tuple(self.curr),
+            "next": tuple(self.next),
+        }
+
     def bars_epoch_start(self) -> List[float]:
         """SLH bars from the snapshot taken at the last epoch boundary."""
         return slh_bars(self.epoch_start, self.lm)

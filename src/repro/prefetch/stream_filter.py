@@ -153,3 +153,15 @@ class StreamFilter:
     def lengths(self) -> List[int]:
         """Current lengths of live streams (test/debug helper)."""
         return [s.length for s in self.slots]
+
+    def snapshot(self) -> List[dict]:
+        """Telemetry view: one plain dict per live slot."""
+        return [
+            {
+                "last": s.last,
+                "length": s.length,
+                "direction": s.direction.step,
+                "expires_at": s.expires_at,
+            }
+            for s in self.slots
+        ]

@@ -24,6 +24,14 @@ class RunResult:
     cpu_ratio: int
     stats: Dict[str, float] = field(default_factory=dict)
     power: Optional[PowerReport] = None
+    #: telemetry digest (tracer event counts, probe coverage) when the
+    #: run was traced; None for untraced runs — see repro.telemetry
+    telemetry: Optional[Dict[str, object]] = None
+
+    @property
+    def telemetry_active(self) -> bool:
+        """True when this run executed with telemetry enabled."""
+        return self.telemetry is not None
 
     @property
     def cpu_cycles(self) -> int:
@@ -150,6 +158,8 @@ class RunResult:
                 "avg_power_mw": self.power.avg_power_mw,
                 "background_energy_uj": self.power.background_energy_uj,
             }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
         return out
 
     def summary(self) -> str:

@@ -25,6 +25,8 @@ from repro.dram.power import DRAMPowerModel
 from repro.prefetch.asd_processor_side import build_processor_side
 from repro.prefetch.memory_side import MemorySidePrefetcher
 from repro.system.results import RunResult
+from repro.telemetry.probes import EpochProbes
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.trace import Trace
 
 #: Hard cap so a mis-configured run fails loudly instead of spinning.
@@ -32,29 +34,57 @@ DEFAULT_MAX_CYCLES = 200_000_000
 
 
 class System:
-    """A fully wired simulated machine, runnable once."""
+    """A fully wired simulated machine, runnable once.
 
-    def __init__(self, config: SystemConfig, traces: Union[Trace, Sequence[Trace]]):
+    ``tracer`` (default: the disabled :data:`NULL_TRACER`) is threaded
+    through every instrumented block; ``probes`` — an unbound
+    :class:`EpochProbes` — is bound to this system at construction and
+    samples per-epoch series while the run executes.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Union[Trace, Sequence[Trace]],
+        tracer: Optional[Tracer] = None,
+        probes: Optional[EpochProbes] = None,
+    ):
         if isinstance(traces, Trace):
             traces = [traces]
         traces = list(traces)
         config = config.derive(threads=len(traces)).validate()
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.probes = probes
         self.power_model = DRAMPowerModel(config.dram, config.dram_power)
-        self.dram = DRAMDevice(config.dram, power=self.power_model)
-        self.ms = MemorySidePrefetcher(config.ms_prefetcher, threads=len(traces))
+        self.dram = DRAMDevice(
+            config.dram, power=self.power_model, tracer=self.tracer
+        )
+        self.ms = MemorySidePrefetcher(
+            config.ms_prefetcher, threads=len(traces), tracer=self.tracer
+        )
         self.controller = MemoryController(
             config.controller,
             self.dram,
             self.ms,
             cpu_ratio=config.core.cpu_ratio,
+            tracer=self.tracer,
         )
         self.hierarchy = CacheHierarchy(config.hierarchy)
         self.ps = build_processor_side(config.ps_prefetcher)
-        self.core = Core(config.core, self.hierarchy, self.ps, self.controller, traces)
+        self.core = Core(
+            config.core,
+            self.hierarchy,
+            self.ps,
+            self.controller,
+            traces,
+            tracer=self.tracer,
+        )
         self.traces = traces
         self.now = 0
         self._ran = False
+        if probes is not None:
+            probes.bind(self)
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
@@ -100,6 +130,11 @@ class System:
         stats.merge(self.core.stats, "core.")
         stats.merge(self.ps.stats, "ps.")
         stats.set("sched.final_policy", self.ms.scheduler.policy)
+        telemetry = None
+        if self.tracer.enabled:
+            telemetry = {"tracer": self.tracer.summary()}
+            if self.probes is not None:
+                telemetry["probes"] = self.probes.summary()
         return RunResult(
             config_name=self.config.name,
             benchmark=self.traces[0].name,
@@ -108,6 +143,7 @@ class System:
             cpu_ratio=self.config.core.cpu_ratio,
             stats=stats.as_dict(),
             power=self.power_model.finalize(self.now),
+            telemetry=telemetry,
         )
 
 
@@ -115,6 +151,14 @@ def simulate(
     config: SystemConfig,
     traces: Union[Trace, Sequence[Trace]],
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    tracer: Optional[Tracer] = None,
+    probes: Optional[EpochProbes] = None,
 ) -> RunResult:
-    """Build a :class:`System` from ``config`` and run it on ``traces``."""
-    return System(config, traces).run(max_cycles=max_cycles)
+    """Build a :class:`System` from ``config`` and run it on ``traces``.
+
+    ``tracer`` / ``probes`` switch on the telemetry subsystem for this
+    run (see :mod:`repro.telemetry`); both default to off.
+    """
+    return System(config, traces, tracer=tracer, probes=probes).run(
+        max_cycles=max_cycles
+    )

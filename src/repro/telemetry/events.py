@@ -1,0 +1,164 @@
+"""Typed trace events emitted by the instrumented simulator blocks.
+
+Every event is a slotted dataclass with a class-level ``kind`` string
+(the discriminator used by exporters and kind-filtered subscribers) and
+a ``t`` field holding the MC cycle at which it happened.  Events are
+plain data: they serialise losslessly through ``to_dict`` and are
+reconstructed by :func:`event_from_dict`, so a JSONL event log round
+trips back into the same objects.
+
+The catalogue (see docs/telemetry.md):
+
+* :class:`EpochBoundary` — an SLH epoch rolled over (the simulator's
+  natural measurement interval; Adaptive Scheduling adapts here too).
+* :class:`PrefetchIssued` — a memory-side prefetch left the LPQ for DRAM.
+* :class:`PrefetchHit` — a regular Read was served by the Prefetch
+  Buffer (or merged with an in-flight prefetch).
+* :class:`PrefetchDiscard` — a prefetch (queued, in flight, or buffered)
+  was thrown away before doing useful work; ``reason`` says why.
+* :class:`PolicyChange` — Adaptive Scheduling stepped its policy index.
+* :class:`QueueDepthSample` — periodic instantaneous queue-depth sample.
+* :class:`DramCommand` — a command was accepted by the DRAM device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Type
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: one timestamped simulator occurrence."""
+
+    t: int  #: MC cycle of the occurrence
+
+    kind: str = ""  # class-level discriminator, overridden per subclass
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a flat JSON-ready dict including ``kind``."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class EpochBoundary(TraceEvent):
+    """An SLH epoch completed: tables rolled over, policy adapted."""
+
+    epoch: int = 0  #: 1-based index of the epoch that just finished
+    reads: int = 0  #: Read commands observed during the epoch
+    policy: int = 0  #: Adaptive Scheduling policy active after adaptation
+
+    kind: str = "epoch_boundary"
+
+
+@dataclass(frozen=True)
+class PrefetchIssued(TraceEvent):
+    """A memory-side prefetch command was issued to DRAM."""
+
+    line: int = 0
+    thread: int = 0
+
+    kind: str = "prefetch_issued"
+
+
+@dataclass(frozen=True)
+class PrefetchHit(TraceEvent):
+    """A regular Read was answered by prefetched data.
+
+    ``where`` distinguishes a Prefetch Buffer hit (``"buffer"``) from a
+    merge with a still-in-flight prefetch (``"merge"``).
+    """
+
+    line: int = 0
+    where: str = "buffer"
+
+    kind: str = "prefetch_hit"
+
+
+@dataclass(frozen=True)
+class PrefetchDiscard(TraceEvent):
+    """A prefetch was dropped before being consumed.
+
+    ``reason`` is one of ``lpq_full``, ``lpq_duplicate``, ``squashed``
+    (a demand read overtook the queued prefetch), ``write_invalidate``
+    (coherence), ``evicted_unused`` (displaced from the buffer untouched)
+    or ``cancelled_in_flight`` (invalidated while DRAM was fetching it).
+    """
+
+    line: int = 0
+    reason: str = ""
+
+    kind: str = "prefetch_discard"
+
+
+@dataclass(frozen=True)
+class PolicyChange(TraceEvent):
+    """Adaptive Scheduling stepped the LPQ prioritisation policy."""
+
+    old_policy: int = 0
+    new_policy: int = 0
+    conflicts: int = 0  #: conflict count of the epoch that drove the step
+
+    kind: str = "policy_change"
+
+
+@dataclass(frozen=True)
+class QueueDepthSample(TraceEvent):
+    """Instantaneous controller/core queue depths at a sample tick."""
+
+    read_queue: int = 0
+    write_queue: int = 0
+    caq: int = 0
+    lpq: int = 0
+    core_outstanding: int = 0  #: demand misses in flight across threads
+
+    kind: str = "queue_depth"
+
+
+@dataclass(frozen=True)
+class DramCommand(TraceEvent):
+    """The DRAM device accepted a command and reserved bank + bus."""
+
+    line: int = 0
+    bank: int = 0
+    row: int = 0
+    is_write: bool = False
+    provenance: str = "demand"
+    row_hit: bool = False  #: False means the access paid an activation
+    completion: int = 0  #: MC cycle at which the data transfer finishes
+
+    kind: str = "dram_command"
+
+
+#: kind string -> event class, for deserialisation.
+EVENT_KINDS: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        EpochBoundary,
+        PrefetchIssued,
+        PrefetchHit,
+        PrefetchDiscard,
+        PolicyChange,
+        QueueDepthSample,
+        DramCommand,
+    )
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its ``to_dict`` form.
+
+    Raises ``ValueError`` on an unknown ``kind`` so corrupted logs fail
+    loudly rather than silently dropping records.
+    """
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    return cls(**payload)

@@ -1,0 +1,186 @@
+"""Exporters: JSONL event logs, CSV/JSON time series, epoch reports.
+
+Three consumption paths for telemetry data:
+
+* :class:`JsonlEventWriter` streams every event to a JSON-lines file as
+  it happens (subscribe it to a tracer); :func:`read_events_jsonl`
+  parses such a file back into typed event objects.
+* :func:`series_to_csv` / :func:`series_to_json` dump the probe series
+  for spreadsheet / notebook analysis (CSV carries the scalar series in
+  one wide table; JSON carries everything, vectors included).
+* :func:`epoch_report` renders a human-readable per-epoch table of the
+  headline dynamics (policy, queues, accuracy, coverage, power).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.telemetry.events import TraceEvent, event_from_dict
+from repro.telemetry.probes import EpochProbes
+
+
+class JsonlEventWriter:
+    """Tracer sink that appends one JSON line per event.
+
+    Accepts a path (opened and owned, closed by :meth:`close`) or any
+    file-like object (borrowed, left open).  The writer is callable so
+    it can be passed to ``tracer.subscribe`` directly.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.events_written = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        """Write one event as a JSON line."""
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and, when the writer opened the file, close it."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events_jsonl(path: str) -> List[TraceEvent]:
+    """Parse a JSONL event log back into typed event objects.
+
+    Blank lines are skipped; malformed JSON or unknown event kinds
+    raise, so a truncated or corrupted log is detected rather than
+    silently shortened.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# series exporters
+# ----------------------------------------------------------------------
+def series_to_csv(probes: EpochProbes, path: str) -> int:
+    """Write all scalar probe series as one wide CSV table.
+
+    One row per sampled epoch, one column per series; cells left empty
+    where a series has no sample for that epoch (possible after ring
+    wraparound).  Returns the number of data rows written.
+    """
+    names = probes.scalar_names()
+    epochs = probes.sampled_epochs()
+    columns = {
+        name: dict(probes.series[name].samples()) for name in names
+    }
+    rows = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(["epoch"] + names) + "\n")
+        for epoch in epochs:
+            cells = [str(epoch)]
+            for name in names:
+                value = columns[name].get(epoch)
+                cells.append("" if value is None else f"{value:g}")
+            fh.write(",".join(cells) + "\n")
+            rows += 1
+    return rows
+
+
+def series_to_json(probes: EpochProbes, path: Optional[str] = None) -> dict:
+    """Serialise every probe series (vectors included) to JSON.
+
+    Returns the document; also writes it to ``path`` when given.
+    """
+    doc = {
+        "interval": probes.interval,
+        "epochs_seen": probes.epochs_seen,
+        "samples_taken": probes.samples_taken,
+        "series": {
+            name: {
+                "epochs": series.epochs(),
+                "values": [
+                    list(v) if isinstance(v, tuple) else v
+                    for v in series.points()
+                ],
+                "dropped": series.dropped,
+            }
+            for name, series in sorted(probes.series.items())
+        },
+    }
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+    return doc
+
+
+def epoch_report(probes: EpochProbes, max_rows: int = 40) -> str:
+    """Human-readable per-epoch table of the headline run dynamics.
+
+    Shows the most recent ``max_rows`` sampled epochs.  Columns cover
+    the quantities the paper tracks phase-to-phase: the active policy,
+    average LPQ/CAQ depth, prefetch accuracy and coverage, delayed
+    regular commands, and DRAM power.
+    """
+    # imported lazily: repro.analysis pulls in the system package, which
+    # is itself instrumented with repro.telemetry (would be a cycle)
+    from repro.analysis.report import format_table
+
+    epochs = probes.sampled_epochs()
+    if not epochs:
+        return "no epochs sampled (run too short for the epoch length?)"
+    shown = epochs[-max_rows:]
+
+    def col(name):
+        series = probes.get(name)
+        return dict(series.samples()) if series is not None else {}
+
+    columns = {
+        "policy": col("policy.index"),
+        "lpq": col("queue.lpq.avg"),
+        "caq": col("queue.caq.avg"),
+        "acc": col("prefetch.accuracy"),
+        "cov": col("prefetch.coverage"),
+        "delayed": col("mc.delayed_regular"),
+        "mw": col("dram.power_mw"),
+    }
+    rows = []
+    for epoch in shown:
+        get = lambda key: columns[key].get(epoch, 0)
+        rows.append(
+            [
+                epoch,
+                int(get("policy")),
+                round(get("lpq"), 2),
+                round(get("caq"), 2),
+                round(get("acc") * 100, 1),
+                round(get("cov") * 100, 1),
+                int(get("delayed")),
+                round(get("mw"), 1),
+            ]
+        )
+    title = (
+        f"epoch telemetry ({probes.samples_taken} samples, "
+        f"every {probes.interval} epoch(s))"
+    )
+    return format_table(
+        ["epoch", "policy", "lpq avg", "caq avg", "acc %", "cov %",
+         "delayed", "dram mW"],
+        rows,
+        title=title,
+    )

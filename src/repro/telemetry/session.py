@@ -1,0 +1,96 @@
+"""One-stop telemetry setup for a simulation run.
+
+:class:`TelemetrySession` bundles the three moving parts — an enabled
+:class:`~repro.telemetry.tracer.Tracer`, an optional JSONL event writer,
+and optional :class:`~repro.telemetry.probes.EpochProbes` — behind the
+configuration surface the CLI exposes (``--trace-events`` /
+``--probe-interval``)::
+
+    session = TelemetrySession(trace_events="out.jsonl", probe_interval=1)
+    result = simulate(config, traces, tracer=session.tracer,
+                      probes=session.probes)
+    session.close()
+    print(session.report())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.exporters import (
+    JsonlEventWriter,
+    epoch_report,
+    series_to_csv,
+    series_to_json,
+)
+from repro.telemetry.probes import EpochProbes
+from repro.telemetry.tracer import Tracer
+
+
+class TelemetrySession:
+    """Tracer + optional event log + optional epoch probes, pre-wired.
+
+    Parameters:
+        trace_events: path for a JSONL event log (None = no log).
+        probe_interval: sample epoch series every N epochs (None = no
+            probes).
+        ring_capacity: per-series ring-buffer capacity for the probes.
+    """
+
+    def __init__(
+        self,
+        trace_events: Optional[str] = None,
+        probe_interval: Optional[int] = None,
+        ring_capacity: int = 4096,
+    ) -> None:
+        self.tracer = Tracer(enabled=True)
+        self.writer: Optional[JsonlEventWriter] = None
+        if trace_events is not None:
+            self.writer = JsonlEventWriter(trace_events)
+            self.tracer.subscribe(self.writer)
+        self.probes: Optional[EpochProbes] = None
+        if probe_interval is not None:
+            self.probes = EpochProbes(interval=probe_interval,
+                                      capacity=ring_capacity)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the event log (safe to call with no log)."""
+        if self.writer is not None:
+            self.writer.close()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # convenience passthroughs
+    # ------------------------------------------------------------------
+    def report(self, max_rows: int = 40) -> str:
+        """Human-readable epoch report (empty string without probes)."""
+        if self.probes is None:
+            return ""
+        return epoch_report(self.probes, max_rows=max_rows)
+
+    def export_csv(self, path: str) -> int:
+        """Write scalar probe series to CSV; returns rows written."""
+        if self.probes is None:
+            raise ValueError("session has no probes (probe_interval unset)")
+        return series_to_csv(self.probes, path)
+
+    def export_json(self, path: Optional[str] = None) -> dict:
+        """Serialise all probe series to JSON (optionally to a file)."""
+        if self.probes is None:
+            raise ValueError("session has no probes (probe_interval unset)")
+        return series_to_json(self.probes, path)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready digest of tracer activity and probe coverage."""
+        out: Dict[str, Any] = {"tracer": self.tracer.summary()}
+        if self.probes is not None:
+            out["probes"] = self.probes.summary()
+        if self.writer is not None:
+            out["events_written"] = self.writer.events_written
+        return out

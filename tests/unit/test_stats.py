@@ -77,3 +77,43 @@ class TestStats:
 
     def test_ratio_zero_denominator(self):
         assert Stats().ratio("a", "b") == 0.0
+
+
+class TestSnapshotDelta:
+    def test_delta_against_earlier_snapshot(self):
+        s = Stats()
+        s.bump("x", 5)
+        before = s.as_dict()
+        s.bump("x", 3)
+        s.bump("y", 2)
+        delta = s.snapshot_delta(before)
+        assert delta == {"x": 3, "y": 2}
+
+    def test_missing_prev_key_treated_as_zero(self):
+        s = Stats()
+        s.bump("fresh", 4)
+        assert s.snapshot_delta({}) == {"fresh": 4}
+
+    def test_delta_of_identical_snapshots_is_zero(self):
+        s = Stats()
+        s.bump("x", 1)
+        delta = s.snapshot_delta(s.as_dict())
+        assert delta == {"x": 0}
+
+
+class TestTotal:
+    def test_total_sums_everything_without_prefix(self):
+        s = Stats()
+        s.bump("a", 1)
+        s.bump("b", 2)
+        assert s.total() == 3
+
+    def test_total_sums_only_prefixed_keys(self):
+        s = Stats()
+        s.bump("lat_sum_demand", 10)
+        s.bump("lat_sum_ps_prefetch", 5)
+        s.bump("reads", 100)
+        assert s.total("lat_sum_") == 15
+
+    def test_total_empty_prefix_match(self):
+        assert Stats().total("none_") == 0

@@ -1,0 +1,67 @@
+"""Unit tests for repro.telemetry.events — the typed event catalogue."""
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    DramCommand,
+    EpochBoundary,
+    PolicyChange,
+    PrefetchDiscard,
+    PrefetchHit,
+    PrefetchIssued,
+    QueueDepthSample,
+    event_from_dict,
+)
+
+ALL_EVENTS = [
+    EpochBoundary(t=100, epoch=3, reads=1000, policy=2),
+    PrefetchIssued(t=101, line=42, thread=1),
+    PrefetchHit(t=102, line=42, where="merge"),
+    PrefetchDiscard(t=103, line=43, reason="lpq_full"),
+    PolicyChange(t=104, old_policy=2, new_policy=3, conflicts=17),
+    QueueDepthSample(t=105, read_queue=4, write_queue=2, caq=1, lpq=3,
+                     core_outstanding=5),
+    DramCommand(t=106, line=44, bank=2, row=9, is_write=False,
+                provenance="ms_prefetch", row_hit=True, completion=140),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+    def test_to_dict_from_dict_identity(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+    def test_dict_carries_kind_and_time(self, event):
+        d = event.to_dict()
+        assert d["kind"] == event.kind
+        assert d["t"] == event.t
+
+
+class TestRegistry:
+    def test_every_kind_registered(self):
+        assert sorted(EVENT_KINDS) == [
+            "dram_command",
+            "epoch_boundary",
+            "policy_change",
+            "prefetch_discard",
+            "prefetch_hit",
+            "prefetch_issued",
+            "queue_depth",
+        ]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "martian", "t": 0})
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"t": 0})
+
+
+class TestImmutability:
+    def test_events_are_frozen(self):
+        event = EpochBoundary(t=1, epoch=1)
+        with pytest.raises(Exception):
+            event.epoch = 2

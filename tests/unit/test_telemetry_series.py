@@ -1,0 +1,67 @@
+"""Unit tests for repro.telemetry.series — ring buffers and series."""
+
+import pytest
+
+from repro.telemetry.series import RingBuffer, Series
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_under_capacity_keeps_order(self):
+        rb = RingBuffer(4)
+        for v in (1, 2, 3):
+            rb.append(v)
+        assert rb.values() == [1, 2, 3]
+        assert rb.dropped == 0
+
+    def test_wraparound_keeps_most_recent(self):
+        rb = RingBuffer(3)
+        for v in range(6):
+            rb.append(v)
+        assert rb.values() == [3, 4, 5]
+        assert rb.dropped == 3
+        assert len(rb) == 3
+
+    def test_wraparound_partial(self):
+        rb = RingBuffer(4)
+        for v in range(5):
+            rb.append(v)
+        assert rb.values() == [1, 2, 3, 4]
+        assert rb.dropped == 1
+
+    def test_iteration_matches_values(self):
+        rb = RingBuffer(2)
+        for v in (1, 2, 3):
+            rb.append(v)
+        assert list(rb) == rb.values() == [2, 3]
+
+
+class TestSeries:
+    def test_records_epoch_value_pairs(self):
+        s = Series("x", capacity=8)
+        s.record(1, 10.0)
+        s.record(2, 20.0)
+        assert s.samples() == [(1, 10.0), (2, 20.0)]
+        assert s.epochs() == [1, 2]
+        assert s.points() == [10.0, 20.0]
+
+    def test_wraparound_drops_oldest_epochs(self):
+        s = Series("x", capacity=3)
+        for epoch in range(1, 7):
+            s.record(epoch, epoch * 1.0)
+        assert s.epochs() == [4, 5, 6]
+        assert s.dropped == 3
+
+    def test_is_scalar_for_numbers(self):
+        s = Series("x")
+        s.record(1, 3)
+        s.record(2, 4.5)
+        assert s.is_scalar
+
+    def test_is_scalar_false_for_tuples(self):
+        s = Series("x")
+        s.record(1, (1, 2, 3))
+        assert not s.is_scalar
