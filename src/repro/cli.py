@@ -6,6 +6,8 @@ Commands:
 * ``run``       — simulate one benchmark under one configuration
 * ``compare``   — one benchmark under NP / PS / MS / PMS
 * ``suite``     — a whole suite (Figures 5/6/7 style table)
+* ``sweep``     — a benchmarks x configs grid, sharded across worker
+  processes through the on-disk result store (docs/experiments.md)
 * ``figure``    — regenerate one paper figure/table by id
 * ``trace``     — generate and save a synthetic trace
 * ``cost``      — the hardware-cost table (Section 5.1)
@@ -14,7 +16,10 @@ Commands:
 
 ``run`` and ``compare`` accept ``--trace-events PATH`` (JSONL event
 log) and ``--probe-interval N`` (sample epoch series every N epochs);
-both default to off, costing nothing.
+both default to off, costing nothing.  ``compare``, ``suite`` and
+``sweep`` accept ``--jobs N`` (parallel workers) and ``--no-store``
+(skip the on-disk result store); traced runs are always serial and
+never stored.
 """
 
 from __future__ import annotations
@@ -86,14 +91,37 @@ def _build_parser() -> argparse.ArgumentParser:
     common(run)
     telem(run)
 
+    def parallel(p):
+        p.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default REPRO_JOBS or 1)")
+        p.add_argument("--no-store", action="store_true",
+                       help="skip the on-disk result store")
+
     compare = sub.add_parser("compare", help="NP/PS/MS/PMS on one benchmark")
     compare.add_argument("-b", "--benchmark", required=True)
     common(compare)
     telem(compare)
+    parallel(compare)
 
     suite = sub.add_parser("suite", help="a whole suite (Figure 5/6/7 table)")
     suite.add_argument("-s", "--suite", required=True, choices=sorted(SUITES))
     common(suite)
+    parallel(suite)
+
+    sweep = sub.add_parser(
+        "sweep", help="benchmarks x configs grid via the parallel engine"
+    )
+    sweep.add_argument("-s", "--suite", choices=sorted(SUITES),
+                       help="sweep a whole suite")
+    sweep.add_argument("-b", "--benchmarks", nargs="+", metavar="BENCH",
+                       help="sweep an explicit benchmark list")
+    sweep.add_argument("-c", "--configs", nargs="+", metavar="CONFIG",
+                       default=list(CONFIG_NAMES),
+                       help="configurations (default: NP PS MS PMS)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds")
+    common(sweep)
+    parallel(sweep)
 
     figure = sub.add_parser("figure", help="regenerate one paper artifact")
     figure.add_argument("id", choices=sorted(FIGURES))
@@ -206,25 +234,37 @@ def _events_path_for(base: str, config_name: str) -> str:
 
 
 def _cmd_compare(args) -> int:
-    from repro.system.simulator import simulate
+    traced = args.trace_events is not None or args.probe_interval is not None
+    if traced:
+        # Traced runs are serial-only and never stored/cached: their
+        # side effects (event logs, probe series) are the point.
+        from repro.system.simulator import simulate
 
-    profile = get_profile(args.benchmark)
-    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
-    results = {}
-    for name in CONFIG_NAMES:
-        events = (
-            _events_path_for(args.trace_events, name)
-            if args.trace_events is not None else None
-        )
-        session = _make_session(events, args.probe_interval)
-        results[name] = simulate(
-            make_config(name),
-            trace,
-            tracer=session.tracer if session else None,
-            probes=session.probes if session else None,
-        )
-        if session is not None:
-            session.close()
+        profile = get_profile(args.benchmark)
+        trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+        results = {}
+        for name in CONFIG_NAMES:
+            events = (
+                _events_path_for(args.trace_events, name)
+                if args.trace_events is not None else None
+            )
+            session = _make_session(events, args.probe_interval)
+            results[name] = simulate(
+                make_config(name),
+                trace,
+                tracer=session.tracer if session else None,
+                probes=session.probes if session else None,
+            )
+            if session is not None:
+                session.close()
+    else:
+        from repro.experiments.runner import run_suite
+
+        results = run_suite(
+            (args.benchmark,), CONFIG_NAMES, jobs=args.jobs,
+            accesses=args.accesses, seed=args.seed,
+            use_store=False if args.no_store else None,
+        )[args.benchmark]
     np_run = results["NP"]
     rows = []
     for name in CONFIG_NAMES:
@@ -248,9 +288,65 @@ def _cmd_suite(args) -> int:
 
     os.environ["REPRO_TRACE_ACCESSES"] = str(args.accesses)
     os.environ["REPRO_SEED"] = str(args.seed)
+    if args.no_store:
+        os.environ["REPRO_STORE"] = "0"
     from repro.experiments.performance import performance_figure, render
 
-    print(render(performance_figure(args.suite)))
+    print(render(performance_figure(args.suite, jobs=args.jobs)))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import os
+
+    from repro.experiments import runner, sweep
+
+    if args.benchmarks:
+        benchmarks = list(args.benchmarks)
+    elif args.suite:
+        benchmarks = list(SUITES[args.suite])
+    else:
+        print("sweep: pass --suite or --benchmarks", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else (
+        int(os.environ["REPRO_JOBS"]) if "REPRO_JOBS" in os.environ
+        else os.cpu_count() or 1
+    )
+    configs = list(args.configs)
+    specs = [
+        sweep.Job(b, c, accesses=args.accesses, seed=args.seed)
+        for b in benchmarks for c in configs
+    ]
+    outcome = sweep.run_jobs(
+        specs, jobs=max(1, jobs), timeout=args.timeout,
+        use_store=False if args.no_store else None,
+    )
+    by_bench = {}
+    for spec, result in zip(specs, outcome.results):
+        by_bench.setdefault(spec.benchmark, {})[spec.config_name] = result
+    baseline_name = configs[0] if "NP" not in configs else "NP"
+    rows = []
+    for b in benchmarks:
+        base = by_bench[b][baseline_name]
+        for c in configs:
+            r = by_bench[b][c]
+            rows.append([b, c, r.cycles, r.gain_vs(base), r.coverage * 100])
+    print(
+        format_table(
+            ["benchmark", "config", "MC cycles",
+             f"gain vs {baseline_name} %", "coverage %"],
+            rows,
+            title=(f"sweep: {len(benchmarks)} benchmarks x "
+                   f"{len(configs)} configs ({args.accesses} accesses, "
+                   f"jobs={max(1, jobs)})"),
+        )
+    )
+    print(f"  {outcome.stats.describe()}")
+    if not args.no_store:
+        from repro.experiments import store
+
+        st = store.get_store()
+        print(f"  store: {len(st)} entries at {st.root}")
     return 0
 
 
@@ -326,6 +422,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": lambda: _cmd_run(args),
         "compare": lambda: _cmd_compare(args),
         "suite": lambda: _cmd_suite(args),
+        "sweep": lambda: _cmd_sweep(args),
         "figure": lambda: _cmd_figure(args),
         "trace": lambda: _cmd_trace(args),
         "cost": lambda: _cmd_cost(args),

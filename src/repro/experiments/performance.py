@@ -23,31 +23,39 @@ PAPER_AVERAGES = {
 
 
 def performance_figure(
-    suite: str, accesses: Optional[int] = None, scheduler: str = "ahb"
+    suite: str,
+    accesses: Optional[int] = None,
+    scheduler: str = "ahb",
+    jobs: Optional[int] = None,
 ) -> SuiteResult:
-    """Compute one of Figures 5/6/7 for a suite."""
+    """Compute one of Figures 5/6/7 for a suite.
+
+    ``jobs`` > 1 shards the benchmark x config grid across worker
+    processes (default: serial, or the ``REPRO_JOBS`` environment).
+    """
     runs = run_suite(
         suite_benchmarks(suite),
         ("NP", "PS", "MS", "PMS"),
         accesses=accesses,
         scheduler=scheduler,
+        jobs=jobs,
     )
     return compare_runs(suite, runs)
 
 
-def fig5_spec(accesses: Optional[int] = None) -> SuiteResult:
+def fig5_spec(accesses: Optional[int] = None, jobs: Optional[int] = None) -> SuiteResult:
     """Figure 5: SPEC2006fp performance improvements."""
-    return performance_figure("spec2006fp", accesses)
+    return performance_figure("spec2006fp", accesses, jobs=jobs)
 
 
-def fig6_nas(accesses: Optional[int] = None) -> SuiteResult:
+def fig6_nas(accesses: Optional[int] = None, jobs: Optional[int] = None) -> SuiteResult:
     """Figure 6: NAS performance improvements."""
-    return performance_figure("nas", accesses)
+    return performance_figure("nas", accesses, jobs=jobs)
 
 
-def fig7_commercial(accesses: Optional[int] = None) -> SuiteResult:
+def fig7_commercial(accesses: Optional[int] = None, jobs: Optional[int] = None) -> SuiteResult:
     """Figure 7: commercial-benchmark performance improvements."""
-    return performance_figure("commercial", accesses)
+    return performance_figure("commercial", accesses, jobs=jobs)
 
 
 def render(result: SuiteResult) -> str:

@@ -52,27 +52,31 @@ class PowerFigure:
         return sum(r["power_increase_pct"] for r in light) / len(light)
 
 
-def power_figure(suite: str, accesses: Optional[int] = None) -> PowerFigure:
-    """Compute one of Figures 8/9/10."""
+def power_figure(
+    suite: str,
+    accesses: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> PowerFigure:
+    """Compute one of Figures 8/9/10 (``jobs`` > 1 runs in parallel)."""
     runs = run_suite(
-        suite_benchmarks(suite), ("PS", "PMS"), accesses=accesses
+        suite_benchmarks(suite), ("PS", "PMS"), accesses=accesses, jobs=jobs
     )
     return PowerFigure(suite, power_energy_rows(runs))
 
 
-def fig8_power_spec(accesses: Optional[int] = None) -> PowerFigure:
+def fig8_power_spec(accesses: Optional[int] = None, jobs: Optional[int] = None) -> PowerFigure:
     """Figure 8: SPEC2006fp DRAM power/energy, PMS vs PS."""
-    return power_figure("spec2006fp", accesses)
+    return power_figure("spec2006fp", accesses, jobs=jobs)
 
 
-def fig9_power_nas(accesses: Optional[int] = None) -> PowerFigure:
+def fig9_power_nas(accesses: Optional[int] = None, jobs: Optional[int] = None) -> PowerFigure:
     """Figure 9: NAS DRAM power/energy, PMS vs PS."""
-    return power_figure("nas", accesses)
+    return power_figure("nas", accesses, jobs=jobs)
 
 
-def fig10_power_commercial(accesses: Optional[int] = None) -> PowerFigure:
+def fig10_power_commercial(accesses: Optional[int] = None, jobs: Optional[int] = None) -> PowerFigure:
     """Figure 10: commercial DRAM power/energy, PMS vs PS."""
-    return power_figure("commercial", accesses)
+    return power_figure("commercial", accesses, jobs=jobs)
 
 
 def render(figure: PowerFigure) -> str:

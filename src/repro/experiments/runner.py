@@ -1,15 +1,30 @@
-"""Shared experiment runner with per-process run caching.
+"""Shared experiment runner: per-process caching over a durable store.
 
-``run()`` simulates one (benchmark, config) pair deterministically;
-repeated calls with the same key return the cached result, so the
-benchmark suite can regenerate every figure without re-simulating the
-overlapping runs.
+``run()`` simulates one (benchmark, config) pair deterministically.
+Results are served from two layers before anything is simulated:
+
+1. the **in-process cache** (a dict, dies with the interpreter), then
+2. the **on-disk result store** (:mod:`repro.experiments.store`, JSON
+   under ``.repro-results/``, shared across sessions and processes).
+
+``run_suite(jobs=N)`` fans a whole benchmark x config grid out across
+worker processes via :mod:`repro.experiments.sweep`; both workers and
+the serial path read and write through the same store, and parallel
+results are guaranteed to compare equal, field for field, to serial
+ones (the simulator is deterministic and the store codec is lossless).
+
+Telemetry-carrying runs (``tracer``/``probes``) always execute serially
+in-process and are never cached or stored — their side effects are the
+point of running them.
 
 Environment knobs:
 
 * ``REPRO_TRACE_ACCESSES`` — trace length per benchmark (default 20000;
   raise for tighter statistics, lower for quick smoke runs).
 * ``REPRO_SEED`` — base RNG seed (default 1).
+* ``REPRO_JOBS`` — default worker count for ``run_suite`` (default 1).
+* ``REPRO_STORE`` / ``REPRO_STORE_DIR`` — disable (``0``) or relocate
+  the on-disk result store.
 """
 
 from __future__ import annotations
@@ -18,6 +33,7 @@ import os
 from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.common.config import SystemConfig
+from repro.experiments import store
 from repro.system.presets import make_config
 from repro.system.results import RunResult
 from repro.system.simulator import simulate
@@ -38,19 +54,98 @@ def default_seed() -> int:
     return int(os.environ.get("REPRO_SEED", "1"))
 
 
+def default_jobs() -> int:
+    """Default ``run_suite`` worker count (env-overridable, min 1)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def resolve_accesses(accesses: Optional[int]) -> int:
+    """Apply the default for ``None`` and validate the trace length.
+
+    An explicit ``accesses=0`` is an error, not a request for the
+    default — ``or``-style defaulting used to swallow it silently.
+    """
+    if accesses is None:
+        accesses = default_accesses()
+    accesses = int(accesses)
+    if accesses <= 0:
+        raise ValueError(
+            f"accesses must be a positive trace length, got {accesses!r}"
+        )
+    return accesses
+
+
 _trace_cache: Dict[Tuple[str, int, int], Trace] = {}
 _run_cache: Dict[Tuple, RunResult] = {}
+_sim_count = 0  # simulate() calls actually executed by this process
 
 
 def get_trace(benchmark: str, accesses: Optional[int] = None, seed: Optional[int] = None) -> Trace:
     """Deterministic trace for a named benchmark (cached)."""
-    accesses = accesses or default_accesses()
+    accesses = resolve_accesses(accesses)
     seed = default_seed() if seed is None else seed
     key = (benchmark, accesses, seed)
     if key not in _trace_cache:
         profile = get_profile(benchmark)
         _trace_cache[key] = generate_trace(profile.workload, accesses, seed=seed)
     return _trace_cache[key]
+
+
+def cache_key(
+    benchmark: str,
+    config_name: str,
+    accesses: int,
+    seed: int,
+    threads: int = 1,
+    scheduler: str = "ahb",
+    mutate_key: Optional[str] = None,
+    traced: bool = False,
+) -> Tuple:
+    """The in-process cache key for one run (resolved arguments)."""
+    return (benchmark, config_name, accesses, seed, threads, scheduler,
+            mutate_key, traced)
+
+
+def cached_result(key: Tuple) -> Optional[RunResult]:
+    """In-process cache lookup (used by the sweep engine)."""
+    return _run_cache.get(key)
+
+
+def seed_cache(key: Tuple, result: RunResult) -> None:
+    """Insert a result computed elsewhere (worker/store) into the cache."""
+    _run_cache[key] = result
+
+
+def simulate_job(
+    config: SystemConfig,
+    benchmark: str,
+    accesses: int,
+    seed: int,
+    threads: int = 1,
+    tracer: Optional[Tracer] = None,
+    probes: Optional[EpochProbes] = None,
+) -> RunResult:
+    """Simulate one fully-resolved job (no caching, no store).
+
+    This is the single execution path shared by ``run()`` and the sweep
+    workers, which is what makes the parallel == serial determinism
+    guarantee hold: there is only one way a job turns into a result.
+    """
+    global _sim_count
+    if threads == 1:
+        traces = [get_trace(benchmark, accesses, seed)]
+    else:
+        traces = [
+            get_trace(benchmark, accesses, seed + t) for t in range(threads)
+        ]
+    _sim_count += 1
+    return simulate(config, traces, tracer=tracer, probes=probes)
+
+
+def _store_for(use_store: Optional[bool]) -> Optional[store.ResultStore]:
+    """The active result store, honouring the per-call override."""
+    enabled = store.store_enabled() if use_store is None else use_store
+    return store.get_store() if enabled else None
 
 
 def run(
@@ -64,24 +159,27 @@ def run(
     mutate_key: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     probes: Optional[EpochProbes] = None,
+    use_store: Optional[bool] = None,
 ) -> RunResult:
     """Simulate one benchmark under one named configuration (cached).
 
     ``mutate`` applies a config transformation (e.g. a sensitivity-sweep
     override); pass a distinct ``mutate_key`` to make such runs
-    cacheable, otherwise they bypass the cache.
+    cacheable, otherwise they bypass both cache layers.
 
     ``tracer`` / ``probes`` pass through to :func:`simulate`.  Telemetry
     enablement is part of the cache key, so a cached untraced result is
-    never returned for a traced request; traced runs themselves are not
-    cached (their side effects — emitted events, probe samples — are the
-    point of running them).
+    never returned for a traced request; traced runs themselves are
+    neither cached nor stored (their side effects — emitted events,
+    probe samples — are the point of running them).
+
+    ``use_store`` overrides the ``REPRO_STORE`` default for this call.
     """
-    accesses = accesses or default_accesses()
+    accesses = resolve_accesses(accesses)
     seed = default_seed() if seed is None else seed
     traced = (tracer is not None and tracer.enabled) or probes is not None
-    key = (benchmark, config_name, accesses, seed, threads, scheduler,
-           mutate_key, traced)
+    key = cache_key(benchmark, config_name, accesses, seed, threads,
+                    scheduler, mutate_key, traced)
     cacheable = (mutate is None or mutate_key is not None) and not traced
     if cacheable and key in _run_cache:
         return _run_cache[key]
@@ -89,15 +187,23 @@ def run(
     config = make_config(config_name, threads=threads, scheduler=scheduler)
     if mutate is not None:
         config = mutate(config)
-    if threads == 1:
-        traces = [get_trace(benchmark, accesses, seed)]
-    else:
-        traces = [
-            get_trace(benchmark, accesses, seed + t) for t in range(threads)
-        ]
-    result = simulate(config, traces, tracer=tracer, probes=probes)
+
+    spec = None
+    active_store = _store_for(use_store) if cacheable else None
+    if active_store is not None:
+        spec = store.job_spec(benchmark, config_name, accesses, seed,
+                              threads, scheduler, mutate_key, config)
+        stored = active_store.get(spec)
+        if stored is not None:
+            _run_cache[key] = stored
+            return stored
+
+    result = simulate_job(config, benchmark, accesses, seed, threads,
+                          tracer=tracer, probes=probes)
     if cacheable:
         _run_cache[key] = result
+        if active_store is not None:
+            active_store.put(spec, result)
     return result
 
 
@@ -106,26 +212,113 @@ def run_configs(
     config_names: Iterable[str],
     **kwargs,
 ) -> Dict[str, RunResult]:
-    """Run one benchmark under several configurations."""
+    """Run one benchmark under several configurations (serially)."""
     return {name: run(benchmark, name, **kwargs) for name in config_names}
 
 
 def run_suite(
     benchmarks: Iterable[str],
     config_names: Iterable[str] = ("NP", "PS", "MS", "PMS"),
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
     **kwargs,
 ) -> Dict[str, Dict[str, RunResult]]:
-    """Run several benchmarks under several configurations."""
+    """Run several benchmarks under several configurations.
+
+    ``jobs`` > 1 shards the (benchmark, config) grid across worker
+    processes (default: ``REPRO_JOBS`` or serial); ``timeout`` bounds
+    each parallel job in seconds.  Suites carrying telemetry or a
+    ``mutate`` callable always execute serially — traced runs must emit
+    their events in-process, and callables do not cross process
+    boundaries.  Parallel results compare equal to serial ones.
+    """
+    benchmarks = tuple(benchmarks)
     config_names = tuple(config_names)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    parallelizable = (
+        jobs > 1
+        and kwargs.get("tracer") is None
+        and kwargs.get("probes") is None
+        and kwargs.get("mutate") is None
+    )
+    if parallelizable:
+        from repro.experiments import sweep
+
+        specs = [
+            sweep.Job(
+                benchmark=b,
+                config_name=c,
+                accesses=kwargs.get("accesses"),
+                seed=kwargs.get("seed"),
+                threads=kwargs.get("threads", 1),
+                scheduler=kwargs.get("scheduler", "ahb"),
+            )
+            for b in benchmarks
+            for c in config_names
+        ]
+        outcome = sweep.run_jobs(
+            specs, jobs=jobs, timeout=timeout,
+            use_store=kwargs.get("use_store"),
+        )
+        results = iter(outcome.results)
+        return {b: {c: next(results) for c in config_names}
+                for b in benchmarks}
     return {b: run_configs(b, config_names, **kwargs) for b in benchmarks}
 
 
+def preload_store(use_store: Optional[bool] = None) -> int:
+    """Warm the in-process cache from the on-disk store.
+
+    Loads every stored, fingerprint-verified, unmutated result into the
+    run cache so a whole session (e.g. the benchmark suite) starts hot.
+    Entries whose config fingerprint no longer matches the current
+    preset definitions are skipped — never served stale.  Returns the
+    number of runs loaded.
+    """
+    active_store = _store_for(use_store)
+    if active_store is None:
+        return 0
+    fingerprints: Dict[Tuple[str, int, str], Optional[str]] = {}
+    loaded = 0
+    for spec, result in active_store.entries():
+        if spec.get("mutate_key") is not None:
+            # Needs the mutate callable to verify; run() covers these
+            # via its own read-through.
+            continue
+        ident = (spec["config"], spec["threads"], spec["scheduler"])
+        if ident not in fingerprints:
+            try:
+                config = make_config(spec["config"], threads=spec["threads"],
+                                     scheduler=spec["scheduler"])
+                fingerprints[ident] = store.config_fingerprint(config)
+            except (KeyError, ValueError):
+                fingerprints[ident] = None  # preset no longer exists
+        if fingerprints[ident] != spec.get("config_fingerprint"):
+            continue
+        key = cache_key(spec["benchmark"], spec["config"], spec["accesses"],
+                        spec["seed"], spec["threads"], spec["scheduler"])
+        if key not in _run_cache:
+            _run_cache[key] = result
+            loaded += 1
+    return loaded
+
+
 def clear_cache() -> None:
-    """Drop all cached traces and runs (tests use this for isolation)."""
+    """Drop all cached traces and runs (tests use this for isolation).
+
+    Only in-process state is dropped; the on-disk store is untouched
+    (use ``store.get_store().clear()`` for that).
+    """
+    global _sim_count
     _trace_cache.clear()
     _run_cache.clear()
+    _sim_count = 0
 
 
 def cache_info() -> Mapping[str, int]:
-    """Sizes of the trace and run caches (diagnostics)."""
-    return {"traces": len(_trace_cache), "runs": len(_run_cache)}
+    """Cache sizes plus the number of simulations actually executed."""
+    return {
+        "traces": len(_trace_cache),
+        "runs": len(_run_cache),
+        "simulated": _sim_count,
+    }

@@ -40,17 +40,20 @@ def tab_smt(
     benchmarks: Optional[Sequence[str]] = None,
     suite: Optional[str] = None,
     accesses: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> SMTResult:
     """SMT gains: two same-benchmark threads with different seeds.
 
     Each SMT workload pairs a benchmark with itself on a different seed
     (the paper runs homogeneous SMT pairs), sharing the caches and the
     controller while the prefetcher's locality state is per thread.
+    ``jobs`` > 1 shards the grid across worker processes.
     """
     if benchmarks is None:
         benchmarks = suite_benchmarks(suite) if suite else FOCUS_BENCHMARKS
     runs = run_suite(
-        benchmarks, ("NP", "PS", "MS", "PMS"), accesses=accesses, threads=2
+        benchmarks, ("NP", "PS", "MS", "PMS"), accesses=accesses, threads=2,
+        jobs=jobs,
     )
     result = SMTResult(benchmarks)
     for benchmark in benchmarks:

@@ -1,0 +1,263 @@
+"""Content-addressed on-disk store for simulation results.
+
+The in-process cache in :mod:`repro.experiments.runner` dies with the
+interpreter, so every session used to re-simulate the full figure grid.
+This module makes results durable: each completed run is written as one
+JSON file under ``.repro-results/`` (override with ``REPRO_STORE_DIR``),
+keyed by a SHA-256 hash of the *full job specification* — benchmark,
+configuration name, trace length, seed, thread count, scheduler,
+mutate key, and a fingerprint of the fully-built
+:class:`~repro.common.config.SystemConfig`.
+
+Because the config fingerprint covers every knob of the final config
+(including sweep mutations and preset definitions), editing a preset or
+a mutation automatically invalidates exactly the affected entries —
+stale results can never be served.
+
+Traced runs (tracer or probes attached) are **never** stored: their
+side effects are the point of running them, and a stored result cannot
+replay events.  :func:`encode_result` enforces this.
+
+Concurrency: writes are atomic (``os.replace`` of a same-directory temp
+file), so parallel sweep workers and multiple processes can share one
+store; last writer wins with an identical payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.dram.power import PowerReport
+from repro.system.results import RunResult
+
+#: Bumped whenever the stored payload or key layout changes; part of
+#: every key, so old-format entries are simply never matched.
+STORE_VERSION = 1
+
+#: Default store location, relative to the working directory.
+DEFAULT_ROOT = ".repro-results"
+
+
+def store_root() -> str:
+    """Store directory: ``REPRO_STORE_DIR`` or ``.repro-results``."""
+    return os.environ.get("REPRO_STORE_DIR") or DEFAULT_ROOT
+
+
+def store_enabled() -> bool:
+    """On-disk persistence is on unless ``REPRO_STORE=0``."""
+    return os.environ.get("REPRO_STORE", "1") != "0"
+
+
+def _canonical(obj: object) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Short digest of every knob of a fully-built system config."""
+    payload = dataclasses.asdict(config)
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def job_spec(
+    benchmark: str,
+    config_name: str,
+    accesses: int,
+    seed: int,
+    threads: int,
+    scheduler: str,
+    mutate_key: Optional[str],
+    config: SystemConfig,
+) -> Dict[str, object]:
+    """The canonical job specification a store key is derived from."""
+    return {
+        "benchmark": benchmark,
+        "config": config_name,
+        "accesses": accesses,
+        "seed": seed,
+        "threads": threads,
+        "scheduler": scheduler,
+        "mutate_key": mutate_key,
+        "config_fingerprint": config_fingerprint(config),
+    }
+
+
+def job_key(spec: Mapping[str, object]) -> str:
+    """Content address of one job: SHA-256 over version + spec."""
+    payload = {"version": STORE_VERSION, "spec": dict(spec)}
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def encode_result(result: RunResult) -> Dict[str, object]:
+    """Lossless, JSON-safe encoding of an untraced :class:`RunResult`."""
+    if result.telemetry is not None:
+        raise ValueError(
+            "traced runs are never stored: telemetry side effects "
+            "(events, probe samples) cannot be replayed from a store"
+        )
+    return {
+        "config_name": result.config_name,
+        "benchmark": result.benchmark,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "cpu_ratio": result.cpu_ratio,
+        "stats": dict(result.stats),
+        "power": dataclasses.asdict(result.power) if result.power else None,
+    }
+
+
+def decode_result(payload: Mapping[str, object]) -> RunResult:
+    """Inverse of :func:`encode_result`."""
+    power = payload.get("power")
+    return RunResult(
+        config_name=payload["config_name"],
+        benchmark=payload["benchmark"],
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        cpu_ratio=payload["cpu_ratio"],
+        stats=dict(payload["stats"]),
+        power=PowerReport(**power) if power is not None else None,
+    )
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Counters for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0  # unreadable/corrupt entries treated as misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.puts = self.errors = 0
+
+
+class ResultStore:
+    """One directory of ``<job_key>.json`` result files."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else store_root()
+        self.stats = StoreStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, spec: Mapping[str, object]) -> Optional[RunResult]:
+        """The stored result for ``spec``, or None (corruption = miss)."""
+        path = self.path_for(job_key(spec))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            # Paranoia against hash collisions and hand-edited files:
+            # the spec recorded inside the entry must match exactly.
+            if document.get("spec") != dict(spec):
+                raise ValueError("stored spec does not match its key")
+            result = decode_result(document["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: Mapping[str, object], result: RunResult) -> str:
+        """Persist one result atomically; returns the entry path."""
+        key = job_key(spec)
+        path = self.path_for(key)
+        document = {
+            "version": STORE_VERSION,
+            "key": key,
+            "spec": dict(spec),
+            "result": encode_result(result),
+        }
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    def entries(self) -> Iterator[Tuple[Dict[str, object], RunResult]]:
+        """Iterate all readable ``(spec, result)`` pairs in the store."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            try:
+                with open(
+                    os.path.join(self.root, name), "r", encoding="utf-8"
+                ) as handle:
+                    document = json.load(handle)
+                yield dict(document["spec"]), decode_result(document["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.errors += 1
+                continue
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".json") and not name.startswith(".")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json") and not name.startswith("."):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+_stores: Dict[str, ResultStore] = {}
+
+
+def get_store() -> ResultStore:
+    """The process-wide store for the *current* root.
+
+    Keyed by absolute root path so tests (and tools) that repoint
+    ``REPRO_STORE_DIR`` get a fresh instance while stats stay stable
+    per directory within one process.
+    """
+    root = os.path.abspath(store_root())
+    if root not in _stores:
+        _stores[root] = ResultStore(root)
+    return _stores[root]

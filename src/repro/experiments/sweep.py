@@ -1,0 +1,292 @@
+"""Parallel sweep execution: shard a job grid across worker processes.
+
+The paper's evaluation is a grid — 30 benchmark stand-ins x {NP, PS,
+MS, PMS, ablations, sensitivity points} — and every cell is an
+independent deterministic simulation.  This module fans such grids out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`, with all
+results flowing through the same two cache layers the serial path uses
+(:mod:`repro.experiments.runner`'s in-process dict, then the on-disk
+:mod:`repro.experiments.store`).
+
+Robustness:
+
+* **per-job timeout** — a job that exceeds ``timeout`` seconds in a
+  worker is re-run serially in the parent (the straggler worker is
+  abandoned at pool shutdown);
+* **bounded retry on worker crash** — a dead worker process breaks the
+  whole pool; affected jobs are resubmitted to a fresh pool up to
+  ``retries`` times each, then fall back to serial execution;
+* **graceful serial fallback** — ``jobs<=1``, a pool that cannot be
+  created (restricted environments), or exhausted retries all degrade
+  to the ordinary in-process path.  A sweep always completes.
+
+Determinism: workers execute :func:`runner.simulate_job` — the exact
+code the serial path runs — and ship results back through the store
+codec, which is lossless for ints, floats, and strings.  A parallel
+sweep therefore compares equal, field for field, to the serial run of
+the same specs (asserted by ``tests/integration/test_sweep_parallel``).
+
+Telemetry never enters this module: traced runs are serial-only by the
+rule established in :mod:`repro.telemetry` (see docs/telemetry.md).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.experiments import runner, store
+from repro.system.presets import make_config
+from repro.system.results import RunResult
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of a sweep grid, in unresolved (default-able) form."""
+
+    benchmark: str
+    config_name: str
+    accesses: Optional[int] = None
+    seed: Optional[int] = None
+    threads: int = 1
+    scheduler: str = "ahb"
+    mutate_key: Optional[str] = None
+
+    def resolve(self) -> "Job":
+        """Fill env-backed defaults and validate the trace length."""
+        return replace(
+            self,
+            accesses=runner.resolve_accesses(self.accesses),
+            seed=runner.default_seed() if self.seed is None else self.seed,
+        )
+
+
+@dataclass
+class SweepStats:
+    """Where every job of one :func:`run_jobs` call was served from."""
+
+    total: int = 0
+    from_cache: int = 0  # in-process cache hits
+    from_store: int = 0  # on-disk store hits
+    executed_parallel: int = 0
+    executed_serial: int = 0
+    retries: int = 0  # resubmissions after a pool break
+    timeouts: int = 0  # jobs that hit the per-job timeout
+    pool_failures: int = 0  # pool breaks observed
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} jobs: {self.from_cache} cached, "
+            f"{self.from_store} from store, "
+            f"{self.executed_parallel} simulated in workers, "
+            f"{self.executed_serial} simulated serially"
+            + (f", {self.retries} retried" if self.retries else "")
+            + (f", {self.timeouts} timed out" if self.timeouts else "")
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """Results aligned with the input specs, plus provenance counters."""
+
+    results: List[RunResult] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+
+#: Internal: one job ready to execute.
+_Pending = Tuple[int, Job, Tuple, Dict[str, object], SystemConfig]
+
+
+def _job_payload(job: Job) -> Dict[str, object]:
+    """The picklable argument a worker receives (no callables)."""
+    return {
+        "benchmark": job.benchmark,
+        "accesses": job.accesses,
+        "seed": job.seed,
+        "threads": job.threads,
+    }
+
+
+def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, object]:
+    """Worker entry point: simulate one resolved job.
+
+    The parent ships the fully-built :class:`SystemConfig` (mutations
+    already applied), so workers never need mutate callables; the
+    result travels back through the store codec.
+    """
+    result = runner.simulate_job(
+        config,
+        payload["benchmark"],
+        payload["accesses"],
+        payload["seed"],
+        payload["threads"],
+    )
+    return store.encode_result(result)
+
+
+def _make_executor(workers: int) -> Optional[ProcessPoolExecutor]:
+    """A process pool, or None when the platform refuses one."""
+    try:
+        return ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError,
+            ValueError):
+        return None
+
+
+def run_jobs(
+    specs: Sequence[Job],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    use_store: Optional[bool] = None,
+    worker: Optional[Callable[[Dict[str, object], SystemConfig], Dict[str, object]]] = None,
+) -> SweepOutcome:
+    """Execute a list of :class:`Job` specs, fanning out when asked.
+
+    ``jobs`` is the worker-process count (1 = serial).  ``timeout``
+    bounds each parallel job in seconds; ``retries`` bounds per-job
+    resubmissions after worker crashes.  ``use_store`` overrides the
+    ``REPRO_STORE`` default.  ``worker`` replaces the worker function
+    (tests inject crashing/hanging stubs; it must be picklable).
+
+    Returns a :class:`SweepOutcome` whose ``results`` align one-to-one
+    with ``specs``.
+    """
+    stats = SweepStats(total=len(specs))
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    active_store = (
+        store.get_store()
+        if (store.store_enabled() if use_store is None else use_store)
+        else None
+    )
+
+    pending: List[_Pending] = []
+    for index, job in enumerate(specs):
+        job = job.resolve()
+        key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
+                               job.seed, job.threads, job.scheduler,
+                               job.mutate_key)
+        cached = runner.cached_result(key)
+        if cached is not None:
+            results[index] = cached
+            stats.from_cache += 1
+            continue
+        config = make_config(job.config_name, threads=job.threads,
+                             scheduler=job.scheduler)
+        spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
+                              job.seed, job.threads, job.scheduler,
+                              job.mutate_key, config)
+        if active_store is not None:
+            stored = active_store.get(spec)
+            if stored is not None:
+                results[index] = stored
+                runner.seed_cache(key, stored)
+                stats.from_store += 1
+                continue
+        pending.append((index, job, key, spec, config))
+
+    if pending:
+        if jobs <= 1:
+            for item in pending:
+                results[item[0]] = _run_one_serial(item, active_store, stats)
+        else:
+            executed = _run_parallel(pending, jobs, timeout, retries,
+                                     active_store, stats, worker or _execute_job)
+            for index, result in executed.items():
+                results[index] = result
+    return SweepOutcome(results=results, stats=stats)
+
+
+def _finish(
+    item: _Pending,
+    result: RunResult,
+    active_store: Optional[store.ResultStore],
+) -> RunResult:
+    """Seed the in-process cache and the store with a fresh result."""
+    _, _, key, spec, _ = item
+    runner.seed_cache(key, result)
+    if active_store is not None:
+        active_store.put(spec, result)
+    return result
+
+
+def _run_one_serial(
+    item: _Pending,
+    active_store: Optional[store.ResultStore],
+    stats: SweepStats,
+) -> RunResult:
+    """Execute one job in this process (the fallback of last resort)."""
+    _, job, _, _, config = item
+    result = runner.simulate_job(config, job.benchmark, job.accesses,
+                                 job.seed, job.threads)
+    stats.executed_serial += 1
+    return _finish(item, result, active_store)
+
+
+def _run_parallel(
+    pending: List[_Pending],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    active_store: Optional[store.ResultStore],
+    stats: SweepStats,
+    worker: Callable,
+) -> Dict[int, RunResult]:
+    """Fan pending jobs out; retry pool breaks; fall back serially."""
+    done: Dict[int, RunResult] = {}
+    attempts: Dict[int, int] = {item[0]: 0 for item in pending}
+    todo = list(pending)
+    while todo:
+        executor = _make_executor(min(jobs, len(todo)))
+        if executor is None:
+            for item in todo:
+                done[item[0]] = _run_one_serial(item, active_store, stats)
+            return done
+        futures = [
+            (executor.submit(worker, _job_payload(item[1]), item[4]), item)
+            for item in todo
+        ]
+        requeue: List[_Pending] = []
+        pool_broke = False
+        timed_out = False
+        for future, item in futures:
+            index = item[0]
+            try:
+                payload = future.result(timeout=timeout)
+                done[index] = _finish(item, store.decode_result(payload),
+                                      active_store)
+                stats.executed_parallel += 1
+            except FutureTimeout:
+                # The worker may be wedged; abandon it (the pool is shut
+                # down below without waiting) and run here instead.
+                stats.timeouts += 1
+                timed_out = True
+                done[index] = _run_one_serial(item, active_store, stats)
+            except BrokenProcessPool:
+                # A worker died.  Every outstanding future on this pool
+                # fails the same way; resubmit each on a fresh pool
+                # until its retry budget runs out.
+                if not pool_broke:
+                    pool_broke = True
+                    stats.pool_failures += 1
+                attempts[index] += 1
+                if attempts[index] <= retries:
+                    stats.retries += 1
+                    requeue.append(item)
+                else:
+                    done[index] = _run_one_serial(item, active_store, stats)
+        if timed_out:
+            # A wedged worker would otherwise be joined at interpreter
+            # exit, stalling the parent for the worker's full runtime.
+            for process in list(getattr(executor, "_processes", {}).values()):
+                process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        todo = requeue
+    return done

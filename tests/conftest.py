@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Every test gets a private on-disk result store: experiment runs made
+by one test must never be served (stale) to another, and test runs
+must not litter the repository's ``.repro-results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "repro-store"))

@@ -1,0 +1,104 @@
+"""Unit tests for tools/check_docs.py (snippet extraction + link check).
+
+Snippets are only *extracted and compiled* here, never executed —
+executing every doc example is the CI docs job's task and too slow
+for tier-1.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestExtractSnippets:
+    def test_finds_python_fence(self):
+        snippets = check_docs.extract_snippets("x\n```python\nprint(1)\n```\ny\n")
+        assert snippets == [(3, "print(1)")]
+
+    def test_ignores_other_languages(self):
+        text = "```bash\nls\n```\n\n```\nplain\n```\n"
+        assert check_docs.extract_snippets(text) == []
+
+    def test_skip_marker_suppresses_next_fence(self):
+        text = (
+            "<!-- docs-check: skip -->\n"
+            "```python\nthis is not python\n```\n"
+            "```python\nok = 1\n```\n"
+        )
+        assert check_docs.extract_snippets(text) == [(6, "ok = 1")]
+
+    def test_skip_marker_only_reaches_three_lines(self):
+        text = (
+            "<!-- docs-check: skip -->\n"
+            "a\nb\nc\nd\n"
+            "```python\nfar = 1\n```\n"
+        )
+        snippets = check_docs.extract_snippets(text)
+        assert snippets == [(7, "far = 1")]
+
+    def test_indented_fence_is_dedented(self):
+        text = "1. step\n\n   ```python\n   x = 1\n   y = x\n   ```\n"
+        assert check_docs.extract_snippets(text) == [(4, "x = 1\ny = x")]
+
+    def test_multiple_snippets_keep_line_numbers(self):
+        text = "```python\na = 1\n```\ntext\n```python\nb = 2\n```\n"
+        assert check_docs.extract_snippets(text) == [(2, "a = 1"), (6, "b = 2")]
+
+
+class TestCheckLinks:
+    def test_missing_target_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        problems = check_docs.check_links(str(doc), "[dead](nonexistent.md)\n")
+        assert len(problems) == 1
+        assert "nonexistent.md" in problems[0]
+
+    def test_existing_relative_target_ok(self, tmp_path):
+        (tmp_path / "other.md").write_text("hi\n")
+        doc = tmp_path / "doc.md"
+        text = "[ok](other.md) and [anchor](other.md#sec)\n"
+        assert check_docs.check_links(str(doc), text) == []
+
+    def test_external_and_anchor_links_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        text = "[w](https://example.com) [m](mailto:a@b.c) [a](#local)\n"
+        assert check_docs.check_links(str(doc), text) == []
+
+    def test_error_includes_line_number(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        problems = check_docs.check_links(str(doc), "ok\n\n[x](gone.md)\n")
+        assert ":3:" in problems[0]
+
+
+class TestRealDocs:
+    """The repo's own docs must stay extractable and internally linked."""
+
+    DOCS = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+    @pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+    def test_links_resolve(self, path):
+        assert check_docs.check_links(str(path), path.read_text()) == []
+
+    def test_docs_contain_runnable_snippets(self):
+        total = sum(
+            len(check_docs.extract_snippets(p.read_text())) for p in self.DOCS
+        )
+        assert total >= 5
+
+    @pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+    def test_snippets_compile(self, path):
+        for lineno, code in check_docs.extract_snippets(path.read_text()):
+            compile(code, f"{path.name}:{lineno}", "exec")
+
+    def test_default_files_exist(self):
+        files = check_docs.default_files()
+        assert all(pathlib.Path(f).exists() for f in files)
+        assert any(f.endswith("experiments.md") for f in files)

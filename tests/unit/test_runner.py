@@ -10,6 +10,7 @@ def clean(monkeypatch):
     runner.clear_cache()
     monkeypatch.delenv("REPRO_TRACE_ACCESSES", raising=False)
     monkeypatch.delenv("REPRO_SEED", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
     yield
     runner.clear_cache()
 
@@ -29,6 +30,32 @@ class TestDefaults:
         monkeypatch.setenv("REPRO_SEED", "42")
         assert runner.default_seed() == 42
 
+    def test_default_jobs(self, monkeypatch):
+        assert runner.default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert runner.default_jobs() == 4
+
+
+class TestAccessesValidation:
+    """``accesses=0`` means zero, not "use the default" (falsy-arg bug)."""
+
+    def test_get_trace_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive trace length"):
+            runner.get_trace("tonto", 0)
+
+    def test_get_trace_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive trace length"):
+            runner.get_trace("tonto", -5)
+
+    def test_run_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive trace length"):
+            runner.run("tonto", "NP", accesses=0)
+
+    def test_none_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ACCESSES", "600")
+        trace = runner.get_trace("tonto", None)
+        assert len(trace.records) == 600
+
 
 class TestTraceCache:
     def test_same_key_same_object(self):
@@ -44,7 +71,34 @@ class TestTraceCache:
     def test_cache_info_counts(self):
         runner.get_trace("tonto", 500)
         runner.get_trace("milc", 500)
-        assert runner.cache_info() == {"traces": 2, "runs": 0}
+        assert runner.cache_info() == {"traces": 2, "runs": 0, "simulated": 0}
+
+    def test_simulated_counter(self):
+        runner.run("tonto", "NP", accesses=500, use_store=False)
+        runner.run("tonto", "NP", accesses=500, use_store=False)  # cache hit
+        assert runner.cache_info()["simulated"] == 1
+
+
+class TestStoreReadThrough:
+    def test_run_is_served_from_store_after_cache_clear(self):
+        first = runner.run("tonto", "NP", accesses=500)
+        runner.clear_cache()
+        second = runner.run("tonto", "NP", accesses=500)
+        assert second == first
+        assert runner.cache_info()["simulated"] == 0
+
+    def test_use_store_false_skips_the_store(self):
+        from repro.experiments import store
+
+        runner.run("tonto", "NP", accesses=500, use_store=False)
+        assert len(store.get_store()) == 0
+
+    def test_store_env_disable(self, monkeypatch):
+        from repro.experiments import store
+
+        monkeypatch.setenv("REPRO_STORE", "0")
+        runner.run("tonto", "NP", accesses=500)
+        assert len(store.get_store()) == 0
 
 
 class TestRunConfigs:

@@ -1,0 +1,168 @@
+"""Unit tests for the content-addressed on-disk result store."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.dram.power import PowerReport
+from repro.experiments import store
+from repro.system.presets import make_config
+from repro.system.results import RunResult
+
+
+def sample_result(**overrides):
+    fields = dict(
+        config_name="PMS",
+        benchmark="tpcc",
+        cycles=12345,
+        instructions=67890,
+        cpu_ratio=8,
+        stats={"mc.reads_arrived": 100, "pb.inserts": 7, "mc.lat_sum_demand": 3.5},
+        power=PowerReport(
+            elapsed_ns=1000.25,
+            energy_uj=12.5,
+            avg_power_mw=640.125,
+            activate_energy_uj=1.0,
+            burst_energy_uj=2.0,
+            background_energy_uj=9.5,
+        ),
+    )
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+def sample_spec(config=None, **overrides):
+    config = config or make_config("PMS")
+    spec = store.job_spec("tpcc", "PMS", 2000, 1, 1, "ahb", None, config)
+    spec.update(overrides)
+    return spec
+
+
+class TestCodec:
+    def test_round_trip_is_field_for_field_equal(self):
+        result = sample_result()
+        assert store.decode_result(store.encode_result(result)) == result
+
+    def test_round_trip_through_json_text(self):
+        result = sample_result()
+        payload = json.loads(json.dumps(store.encode_result(result)))
+        assert store.decode_result(payload) == result
+
+    def test_round_trip_without_power(self):
+        result = sample_result(power=None)
+        assert store.decode_result(store.encode_result(result)) == result
+
+    def test_traced_results_are_rejected(self):
+        traced = sample_result(telemetry={"events": 5})
+        with pytest.raises(ValueError, match="never stored"):
+            store.encode_result(traced)
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        assert store.job_key(sample_spec()) == store.job_key(sample_spec())
+
+    def test_key_depends_on_every_spec_field(self):
+        base = store.job_key(sample_spec())
+        for field, other in [
+            ("benchmark", "milc"),
+            ("accesses", 4000),
+            ("seed", 2),
+            ("threads", 2),
+            ("scheduler", "in_order"),
+            ("mutate_key", "x"),
+        ]:
+            assert store.job_key(sample_spec(**{field: other})) != base, field
+
+    def test_fingerprint_tracks_config_changes(self):
+        config = make_config("PMS")
+        base = store.config_fingerprint(config)
+        config.ms_prefetcher.buffer.entries = 32
+        assert store.config_fingerprint(config) != base
+
+    def test_config_change_invalidates_the_entry(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        st.put(sample_spec(), sample_result())
+        mutated = make_config("PMS")
+        mutated.ms_prefetcher.slh.epoch_reads = 500
+        assert st.get(sample_spec(config=mutated)) is None
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        spec, result = sample_spec(), sample_result()
+        st.put(spec, result)
+        assert st.get(spec) == result
+        assert st.stats.as_dict() == {
+            "hits": 1, "misses": 0, "puts": 1, "errors": 0
+        }
+
+    def test_miss_on_empty_store(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        assert st.get(sample_spec()) is None
+        assert st.stats.misses == 1
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        spec = sample_spec()
+        path = st.put(spec, sample_result())
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert st.get(spec) is None
+        assert st.stats.errors == 1
+
+    def test_spec_mismatch_inside_entry_is_a_miss(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        spec = sample_spec()
+        path = st.put(spec, sample_result())
+        document = json.load(open(path))
+        document["spec"]["seed"] = 99  # hand-tampered entry
+        json.dump(document, open(path, "w"))
+        assert st.get(spec) is None
+        assert st.stats.errors == 1
+
+    def test_entries_len_and_clear(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        st.put(sample_spec(), sample_result())
+        st.put(sample_spec(seed=2), sample_result())
+        assert len(st) == 2
+        listed = list(st.entries())
+        assert len(listed) == 2
+        assert all(isinstance(r, RunResult) for _, r in listed)
+        assert st.clear() == 2
+        assert len(st) == 0
+
+    def test_writes_are_atomic_no_temp_residue(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        st.put(sample_spec(), sample_result())
+        assert not [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
+
+
+class TestEnvironment:
+    def test_store_dir_env_controls_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "here"))
+        assert store.store_root() == str(tmp_path / "here")
+        assert store.get_store().root == os.path.abspath(
+            str(tmp_path / "here")
+        )
+
+    def test_store_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "0")
+        assert not store.store_enabled()
+        monkeypatch.setenv("REPRO_STORE", "1")
+        assert store.store_enabled()
+
+    def test_get_store_is_cached_per_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "a"))
+        first = store.get_store()
+        assert store.get_store() is first
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "b"))
+        assert store.get_store() is not first
+
+    def test_version_bump_invalidates_keys(self, monkeypatch):
+        base = store.job_key(sample_spec())
+        monkeypatch.setattr(store, "STORE_VERSION", store.STORE_VERSION + 1)
+        assert store.job_key(sample_spec()) != base

@@ -1,0 +1,144 @@
+"""Unit tests for the parallel sweep engine's plumbing and robustness.
+
+The crashing/hanging worker stubs below must be module-level functions
+so they pickle across the process boundary.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import runner, store, sweep
+
+ACCESSES = 900
+
+
+@pytest.fixture(autouse=True)
+def clean():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def crashing_worker(payload, config):
+    """Simulates a hard worker death (segfault/OOM-kill analogue)."""
+    os._exit(13)
+
+
+def hanging_worker(payload, config):
+    """Never finishes within any reasonable per-job timeout."""
+    time.sleep(60)
+
+
+class TestJob:
+    def test_resolve_fills_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ACCESSES", "3333")
+        monkeypatch.setenv("REPRO_SEED", "7")
+        job = sweep.Job("tpcc", "NP").resolve()
+        assert job.accesses == 3333
+        assert job.seed == 7
+
+    def test_resolve_keeps_explicit_values(self):
+        job = sweep.Job("tpcc", "NP", accesses=500, seed=3).resolve()
+        assert (job.accesses, job.seed) == (500, 3)
+
+    def test_resolve_rejects_zero_accesses(self):
+        with pytest.raises(ValueError, match="positive"):
+            sweep.Job("tpcc", "NP", accesses=0).resolve()
+
+
+class TestServing:
+    def test_serial_executes_and_stores(self):
+        out = sweep.run_jobs([sweep.Job("tonto", "NP", accesses=ACCESSES)])
+        assert out.stats.executed_serial == 1
+        assert out.results[0].benchmark == "tonto"
+        assert len(store.get_store()) == 1
+
+    def test_second_call_is_served_from_cache(self):
+        spec = [sweep.Job("tonto", "NP", accesses=ACCESSES)]
+        first = sweep.run_jobs(spec)
+        second = sweep.run_jobs(spec)
+        assert second.stats.from_cache == 1
+        assert second.results[0] is first.results[0]
+
+    def test_cold_process_is_served_from_store(self):
+        spec = [sweep.Job("tonto", "NP", accesses=ACCESSES)]
+        first = sweep.run_jobs(spec)
+        runner.clear_cache()  # "new session"
+        second = sweep.run_jobs(spec)
+        assert second.stats.from_store == 1
+        assert second.results[0] == first.results[0]
+        assert runner.cache_info()["simulated"] == 0
+
+    def test_no_store_option(self):
+        sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)], use_store=False
+        )
+        assert len(store.get_store()) == 0
+
+    def test_results_align_with_specs(self):
+        specs = [
+            sweep.Job("tonto", "NP", accesses=ACCESSES),
+            sweep.Job("milc", "NP", accesses=ACCESSES),
+            sweep.Job("tonto", "PS", accesses=ACCESSES),
+        ]
+        out = sweep.run_jobs(specs)
+        assert [(r.benchmark, r.config_name) for r in out.results] == [
+            ("tonto", "NP"), ("milc", "NP"), ("tonto", "PS")
+        ]
+
+
+class TestRobustness:
+    def test_crashing_worker_falls_back_to_serial(self):
+        out = sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)],
+            jobs=2,
+            retries=1,
+            worker=crashing_worker,
+        )
+        assert out.results[0].benchmark == "tonto"
+        assert out.stats.pool_failures >= 1
+        assert out.stats.retries == 1
+        assert out.stats.executed_serial == 1
+        assert out.stats.executed_parallel == 0
+
+    def test_crash_retry_budget_is_bounded(self):
+        out = sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)],
+            jobs=2,
+            retries=3,
+            worker=crashing_worker,
+        )
+        assert out.stats.retries == 3
+        assert out.results[0] is not None
+
+    def test_hanging_worker_times_out_to_serial(self):
+        out = sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)],
+            jobs=2,
+            timeout=0.5,
+            worker=hanging_worker,
+        )
+        assert out.stats.timeouts == 1
+        assert out.stats.executed_serial == 1
+        assert out.results[0].benchmark == "tonto"
+
+    def test_unavailable_pool_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(sweep, "_make_executor", lambda workers: None)
+        out = sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)], jobs=4
+        )
+        assert out.stats.executed_serial == 1
+        assert out.results[0] is not None
+
+    def test_fallback_results_still_reach_the_store(self):
+        sweep.run_jobs(
+            [sweep.Job("tonto", "NP", accesses=ACCESSES)],
+            jobs=2,
+            retries=0,
+            worker=crashing_worker,
+        )
+        runner.clear_cache()
+        out = sweep.run_jobs([sweep.Job("tonto", "NP", accesses=ACCESSES)])
+        assert out.stats.from_store == 1

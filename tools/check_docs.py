@@ -1,0 +1,139 @@
+"""Execute the docs' fenced python snippets and check cross-file links.
+
+Every ```` ```python ```` fence in README.md and docs/*.md is executed
+against the installed package (each snippet in a fresh namespace, in a
+throwaway working directory, with a throwaway result store), and every
+relative markdown link is checked to point at a file that exists.  CI
+runs this so the guides cannot rot.
+
+Conventions:
+
+* A fence is skipped when one of the three lines above it contains the
+  marker ``<!-- docs-check: skip -->`` (used for illustrative
+  fragments that are not self-contained programs).
+* ``REPRO_TRACE_ACCESSES`` defaults to 2000 here, so snippets that
+  lean on the environment default stay fast; snippets that pass an
+  explicit trace length keep it.
+
+Usage: ``PYTHONPATH=src python tools/check_docs.py [files...]``
+(defaults to README.md and docs/*.md).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+import tempfile
+import textwrap
+import traceback
+from typing import List, Optional, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_MARK = "docs-check: skip"
+FENCE_OPEN = re.compile(r"^```+\s*python\s*$")
+FENCE_CLOSE = re.compile(r"^```+\s*$")
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_snippets(text: str) -> List[Tuple[int, str]]:
+    """``(first_code_line, dedented_code)`` for each executable fence."""
+    lines = text.splitlines()
+    snippets: List[Tuple[int, str]] = []
+    i = 0
+    while i < len(lines):
+        if not FENCE_OPEN.match(lines[i].strip()):
+            i += 1
+            continue
+        skip = any(
+            SKIP_MARK in lines[j] for j in range(max(0, i - 3), i)
+        )
+        start = i + 1
+        body: List[str] = []
+        i += 1
+        while i < len(lines) and not FENCE_CLOSE.match(lines[i].strip()):
+            body.append(lines[i])
+            i += 1
+        i += 1  # closing fence
+        if not skip:
+            snippets.append((start + 1, textwrap.dedent("\n".join(body))))
+    return snippets
+
+
+def check_links(path: str, text: str) -> List[str]:
+    """Broken relative links in one markdown file."""
+    errors = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(os.path.abspath(path)), file_part)
+            )
+            if not os.path.exists(resolved):
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def run_snippet(path: str, lineno: int, code: str, workdir: str) -> Optional[str]:
+    """Execute one snippet; returns an error description or None."""
+    namespace = {"__name__": "__docs_check__"}
+    cwd = os.getcwd()
+    os.chdir(workdir)
+    try:
+        exec(compile(code, f"{path}:{lineno}", "exec"), namespace)
+    except Exception:
+        return f"{path}:{lineno}: snippet raised\n{traceback.format_exc()}"
+    finally:
+        os.chdir(cwd)
+    return None
+
+
+def default_files() -> List[str]:
+    return [os.path.join(ROOT, "README.md")] + sorted(
+        glob.glob(os.path.join(ROOT, "docs", "*.md"))
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    files = (argv or sys.argv[1:]) or default_files()
+    os.environ.setdefault("REPRO_TRACE_ACCESSES", "2000")
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+    failures: List[str] = []
+    snippet_count = 0
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+        # Snippets get a throwaway store so doc runs never pollute (or
+        # get served stale results from) the repository's store.
+        os.environ.setdefault(
+            "REPRO_STORE_DIR", os.path.join(workdir, "store")
+        )
+        for path in files:
+            rel = os.path.relpath(path, ROOT)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            failures.extend(check_links(path, text))
+            for lineno, code in extract_snippets(text):
+                snippet_count += 1
+                error = run_snippet(rel, lineno, code, workdir)
+                if error is None:
+                    print(f"ok   {rel}:{lineno}")
+                else:
+                    print(f"FAIL {rel}:{lineno}")
+                    failures.append(error)
+    if failures:
+        print(f"\n{len(failures)} problem(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\n{len(files)} files, {snippet_count} snippets executed, "
+          f"all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
