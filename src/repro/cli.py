@@ -91,9 +91,9 @@ def _build_parser() -> argparse.ArgumentParser:
     common(run)
     telem(run)
 
-    def parallel(p):
+    def parallel(p, jobs_help="worker processes (default REPRO_JOBS or 1)"):
         p.add_argument("-j", "--jobs", type=int, default=None,
-                       help="worker processes (default REPRO_JOBS or 1)")
+                       help=jobs_help)
         p.add_argument("--no-store", action="store_true",
                        help="skip the on-disk result store")
 
@@ -121,7 +121,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
     common(sweep)
-    parallel(sweep)
+    parallel(sweep,
+             jobs_help="worker processes (default REPRO_JOBS or all CPUs)")
 
     figure = sub.add_parser("figure", help="regenerate one paper artifact")
     figure.add_argument("id", choices=sorted(FIGURES))

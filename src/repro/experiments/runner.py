@@ -216,6 +216,16 @@ def run_configs(
     return {name: run(benchmark, name, **kwargs) for name in config_names}
 
 
+#: run() kwargs the parallel sweep path models explicitly.  Anything
+#: else — telemetry, mutate callables, mutate_key, or a typo — forces
+#: the serial path, where run() either handles it or raises TypeError,
+#: so both paths see identical semantics and cache identities.
+_PARALLEL_KWARGS = frozenset(
+    {"accesses", "seed", "threads", "scheduler", "use_store"}
+)
+_SERIAL_ONLY_KWARGS = frozenset({"tracer", "probes", "mutate", "mutate_key"})
+
+
 def run_suite(
     benchmarks: Iterable[str],
     config_names: Iterable[str] = ("NP", "PS", "MS", "PMS"),
@@ -227,19 +237,21 @@ def run_suite(
 
     ``jobs`` > 1 shards the (benchmark, config) grid across worker
     processes (default: ``REPRO_JOBS`` or serial); ``timeout`` bounds
-    each parallel job in seconds.  Suites carrying telemetry or a
-    ``mutate`` callable always execute serially — traced runs must emit
-    their events in-process, and callables do not cross process
-    boundaries.  Parallel results compare equal to serial ones.
+    each parallel job in seconds.  Suites carrying telemetry, a
+    ``mutate`` callable/``mutate_key``, or any kwarg the sweep engine
+    does not model always execute serially — traced runs must emit
+    their events in-process, callables do not cross process boundaries,
+    and unknown kwargs must raise the same ``TypeError`` they would
+    serially.  Parallel results compare equal to serial ones.
     """
     benchmarks = tuple(benchmarks)
     config_names = tuple(config_names)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    unknown = set(kwargs) - _PARALLEL_KWARGS - _SERIAL_ONLY_KWARGS
     parallelizable = (
         jobs > 1
-        and kwargs.get("tracer") is None
-        and kwargs.get("probes") is None
-        and kwargs.get("mutate") is None
+        and not unknown
+        and all(kwargs.get(k) is None for k in _SERIAL_ONLY_KWARGS)
     )
     if parallelizable:
         from repro.experiments import sweep

@@ -46,7 +46,15 @@ from repro.system.results import RunResult
 
 @dataclass(frozen=True)
 class Job:
-    """One cell of a sweep grid, in unresolved (default-able) form."""
+    """One cell of a sweep grid, in unresolved (default-able) form.
+
+    ``mutate_key`` exists only so job specs share a key shape with
+    :func:`runner.cache_key` / :func:`store.job_spec`; it must stay
+    ``None`` here.  Mutate callables cannot cross process boundaries,
+    so mutated runs go through ``runner.run(mutate=..., mutate_key=...)``
+    serially — :meth:`resolve` rejects anything else rather than cache
+    an unmutated result under a mutate-keyed identity.
+    """
 
     benchmark: str
     config_name: str
@@ -58,6 +66,13 @@ class Job:
 
     def resolve(self) -> "Job":
         """Fill env-backed defaults and validate the trace length."""
+        if self.mutate_key is not None:
+            raise ValueError(
+                "sweep jobs cannot carry mutate_key: mutate callables do "
+                "not cross process boundaries, so the sweep engine would "
+                "cache an unmutated result under a mutated identity. Use "
+                "runner.run(mutate=..., mutate_key=...) serially instead."
+            )
         return replace(
             self,
             accesses=runner.resolve_accesses(self.accesses),
@@ -117,9 +132,9 @@ def _job_payload(job: Job) -> Dict[str, object]:
 def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, object]:
     """Worker entry point: simulate one resolved job.
 
-    The parent ships the fully-built :class:`SystemConfig` (mutations
-    already applied), so workers never need mutate callables; the
-    result travels back through the store codec.
+    The parent ships the fully-built :class:`SystemConfig` (presets
+    only — :meth:`Job.resolve` rejects mutated jobs), so workers never
+    need callables; the result travels back through the store codec.
     """
     result = runner.simulate_job(
         config,

@@ -112,6 +112,22 @@ class TestRunConfigs:
         assert set(results) == {"tonto"}
         assert set(results["tonto"]) == {"NP"}
 
+    def test_run_suite_unknown_kwarg_raises_even_parallel(self):
+        # A typo must raise the same TypeError it would serially, not be
+        # silently dropped by the parallel path.
+        with pytest.raises(TypeError):
+            runner.run_suite(("tonto",), ("NP",), accesses=800, jobs=2,
+                             acesses=900)
+
+    def test_run_suite_mutate_key_stays_serial(self):
+        # mutate_key is part of the cache identity; the parallel path
+        # cannot model it, so the suite must fall back to serial.
+        runner.run_suite(("tonto",), ("NP",), accesses=800, jobs=2,
+                         mutate_key="x")
+        key = runner.cache_key("tonto", "NP", 800, runner.default_seed(),
+                               mutate_key="x")
+        assert runner.cached_result(key) is not None
+
     def test_scheduler_in_cache_key(self):
         a = runner.run("tonto", "NP", accesses=800, scheduler="ahb")
         b = runner.run("tonto", "NP", accesses=800, scheduler="in_order")

@@ -47,6 +47,19 @@ class TestJob:
         with pytest.raises(ValueError, match="positive"):
             sweep.Job("tpcc", "NP", accesses=0).resolve()
 
+    def test_resolve_rejects_mutate_key(self):
+        # Workers cannot apply mutate callables; accepting the key would
+        # cache an unmutated result under a mutated identity.
+        with pytest.raises(ValueError, match="mutate_key"):
+            sweep.Job("tpcc", "NP", mutate_key="pb_entries=32").resolve()
+
+    def test_run_jobs_rejects_mutate_key(self):
+        with pytest.raises(ValueError, match="mutate_key"):
+            sweep.run_jobs(
+                [sweep.Job("tonto", "NP", accesses=ACCESSES,
+                           mutate_key="pb_entries=32")]
+            )
+
 
 class TestServing:
     def test_serial_executes_and_stores(self):

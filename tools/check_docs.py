@@ -108,10 +108,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     snippet_count = 0
     with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
         # Snippets get a throwaway store so doc runs never pollute (or
-        # get served stale results from) the repository's store.
-        os.environ.setdefault(
-            "REPRO_STORE_DIR", os.path.join(workdir, "store")
-        )
+        # get served stale results from) the repository's store — even
+        # when the developer has REPRO_STORE_DIR exported.
+        os.environ["REPRO_STORE_DIR"] = os.path.join(workdir, "store")
         for path in files:
             rel = os.path.relpath(path, ROOT)
             with open(path, "r", encoding="utf-8") as handle:
