@@ -16,7 +16,7 @@ from repro.common.stats import Stats
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy, TreePLRUPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eviction:
     """A line pushed out of the cache by a fill."""
 
@@ -50,6 +50,9 @@ class Cache:
         # reverse map per set: line -> way (fast lookup)
         self._where: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self.stats = Stats()
+        # hot path: lookup/fill add straight into the underlying
+        # counter mapping (see Stats.raw)
+        self._stat_values = self.stats.raw()
 
     # ------------------------------------------------------------------
     def set_index(self, line: int) -> int:
@@ -61,12 +64,12 @@ class Cache:
 
     def lookup(self, line: int, write: bool = False) -> bool:
         """Access the cache: returns True on hit (updating recency/dirty)."""
-        s = self.set_index(line)
+        s = line % self.num_sets
         way = self._where[s].get(line)
         if way is None:
-            self.stats.bump("misses")
+            self._stat_values["misses"] += 1
             return False
-        self.stats.bump("hits")
+        self._stat_values["hits"] += 1
         self.policy.touch(s, way)
         if write:
             self._dirty[s][way] = True
@@ -78,15 +81,18 @@ class Cache:
         Filling a line that is already present only updates recency and
         ORs in the dirty bit (a prefetch fill must not lose a dirty bit).
         """
-        s = self.set_index(line)
-        existing = self._where[s].get(line)
+        s = line % self.num_sets
+        where = self._where[s]
+        existing = where.get(line)
         if existing is not None:
             self.policy.touch(s, existing)
             if dirty:
                 self._dirty[s][existing] = True
             return None
 
+        values = self._stat_values
         lines = self._lines[s]
+        dirty_map = self._dirty[s]
         if len(lines) < self.assoc:
             # take the lowest-numbered free way
             way = next(w for w in range(self.assoc) if w not in lines)
@@ -94,16 +100,16 @@ class Cache:
         else:
             way = self.policy.victim(s)
             old_line = lines[way]
-            evicted = Eviction(old_line, self._dirty[s].get(way, False))
-            del self._where[s][old_line]
-            self.stats.bump("evictions")
+            evicted = Eviction(old_line, dirty_map.get(way, False))
+            del where[old_line]
+            values["evictions"] += 1
             if evicted.dirty:
-                self.stats.bump("dirty_evictions")
+                values["dirty_evictions"] += 1
         lines[way] = line
-        self._dirty[s][way] = dirty
-        self._where[s][line] = way
+        dirty_map[way] = dirty
+        where[line] = way
         self.policy.fill(s, way)
-        self.stats.bump("fills")
+        values["fills"] += 1
         return evicted
 
     def invalidate(self, line: int) -> bool:

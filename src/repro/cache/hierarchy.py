@@ -31,7 +31,7 @@ class Level(enum.Enum):
     MEMORY = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one demand access.
 
@@ -55,6 +55,8 @@ class CacheHierarchy:
         self.l2 = Cache(config.l2, "L2")
         self.l3 = Cache(config.l3, "L3")
         self.stats = Stats()
+        # hot path: access() adds straight into the counter mapping
+        self._stat_values = self.stats.raw()
 
     # ------------------------------------------------------------------
     # internal fill plumbing
@@ -82,26 +84,27 @@ class CacheHierarchy:
     def access(self, line: int, write: bool = False) -> AccessResult:
         """One demand load/store at line granularity."""
         writebacks: List[int] = []
+        values = self._stat_values
         if self.l1.lookup(line, write):
-            self.stats.bump("l1_hits")
+            values["l1_hits"] += 1
             return AccessResult(Level.L1, self.config.l1.latency, writebacks)
 
         if self.l2.lookup(line):
-            self.stats.bump("l2_hits")
+            values["l2_hits"] += 1
             self._fill_l1(line, write, writebacks)
             return AccessResult(Level.L2, self.config.l2.latency, writebacks)
 
         if self.l3.lookup(line):
-            self.stats.bump("l3_hits")
+            values["l3_hits"] += 1
             self._fill_l2(line, False, writebacks)
             self._fill_l1(line, write, writebacks)
             return AccessResult(Level.L3, self.config.l3.latency, writebacks)
 
-        self.stats.bump("memory_accesses")
+        values["memory_accesses"] += 1
         if write:
             # write-validate: install dirty without a memory read
             self._fill_l1(line, True, writebacks)
-            self.stats.bump("write_validates")
+            values["write_validates"] += 1
             return AccessResult(Level.MEMORY, self.config.l2.latency, writebacks)
         return AccessResult(Level.MEMORY, 0, writebacks)
 

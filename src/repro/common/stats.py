@@ -4,6 +4,18 @@ A :class:`Stats` object is a string-keyed accumulator of numeric values.
 Blocks bump counters as events happen; analysis code reads them at the
 end of a run.  Missing keys read as 0, so reporting code never needs
 ``.get(..., 0)`` chains.
+
+Two accounting conventions used by the simulator's hot loops:
+
+* **Per-cycle integrals** (``ticks``, ``occ_*``): every simulated MC
+  cycle is accounted, *including* cycles the event-driven main loop
+  fast-forwards over (those are folded in as one bulk addition), so
+  ``occ_x / ticks`` is a true time average over the whole run, not an
+  average conditioned on executed cycles.
+* **Hot-path batching**: blocks that bump several counters per cycle
+  may hold on to :meth:`Stats.raw` and add into the mapping directly;
+  the mapping is a ``defaultdict`` so missing keys behave exactly like
+  :meth:`bump`.
 """
 
 from __future__ import annotations
@@ -25,6 +37,15 @@ class Stats:
     def set(self, key: str, value: float) -> None:
         """Overwrite counter ``key`` with ``value``."""
         self._values[key] = value
+
+    def raw(self) -> Dict[str, float]:
+        """The live underlying mapping, for hot-path batched updates.
+
+        Adding into the returned ``defaultdict`` is equivalent to
+        :meth:`bump` but skips a method call per counter; callers must
+        only ever *add* through it.
+        """
+        return self._values
 
     def __getitem__(self, key: str) -> float:
         return self._values.get(key, 0)

@@ -66,9 +66,12 @@ class Direction(enum.Enum):
 _command_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryCommand:
     """One line-granularity command flowing through the memory controller.
+
+    Slotted: tens of thousands are allocated per run, and the
+    controller's hot loops read their fields every cycle.
 
     Attributes:
         kind: READ or WRITE.

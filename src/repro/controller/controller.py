@@ -41,6 +41,18 @@ ReadCallback = Callable[[MemoryCommand, int], None]
 #: Ticks between QueueDepthSample events on an enabled tracer.
 QUEUE_SAMPLE_INTERVAL = 256
 
+#: Per-provenance latency counter names, precomputed so completion
+#: delivery (one of the hottest paths) never builds f-strings.
+_LAT_KEYS = {
+    prov: (
+        f"lat_sum_{prov.value}",
+        f"lat_cnt_{prov.value}",
+        f"lat_max_{prov.value}",
+        f"lat_hist_{prov.value}_",
+    )
+    for prov in Provenance
+}
+
 
 class MemoryController:
     """Reorder queues -> scheduler -> CAQ -> Final Scheduler -> DRAM."""
@@ -75,6 +87,14 @@ class MemoryController:
         self._now = 0
         self.ms.on_merge_ready = self._merge_ready
         self.stats = Stats()
+        # hot path: the per-cycle occupancy integrals add straight into
+        # the underlying counter mapping (see Stats.raw), and the queue
+        # containers are aliased so a length probe is one len() call
+        self._stat_values = self.stats.raw()
+        self._rq_items = self.queues.reads._items
+        self._wq_items = self.queues.writes._items
+        self._caq_items = self.caq._items
+        self._lpq_items = self.ms.lpq._queue
 
     # ------------------------------------------------------------------
     # command entry
@@ -87,25 +107,26 @@ class MemoryController:
 
     def enqueue(self, cmd: MemoryCommand, now: int) -> bool:
         """Admit a command into the reorder queues; False means retry."""
+        values = self._stat_values
         if cmd.is_read:
-            if self.queues.reads.full:
-                self.stats.bump("read_rejects")
+            if len(self._rq_items) >= self.queues.reads.depth:
+                values["read_rejects"] += 1
                 return False
             cmd.arrival = now
-            self.stats.bump("reads_arrived")
+            values["reads_arrived"] += 1
             if cmd.provenance is Provenance.PS_PREFETCH:
-                self.stats.bump("reads_ps")
+                values["reads_ps"] += 1
             else:
-                self.stats.bump("reads_demand")
+                values["reads_demand"] += 1
             # Figure 4: Reads fork into the Stream Filter on entry.
             self.ms.observe_read(cmd, now, now * self.cpu_ratio)
-            self.queues.reads.push(cmd)
+            self._rq_items.append(cmd)
             return True
-        if self.queues.writes.full:
-            self.stats.bump("write_rejects")
+        if len(self._wq_items) >= self.queues.writes.depth:
+            values["write_rejects"] += 1
             return False
         cmd.arrival = now
-        self.stats.bump("writes_arrived")
+        values["writes_arrived"] += 1
         self.ms.observe_write(cmd)
         self.queues.writes.push(cmd)
         self._pending_write_lines[cmd.line] += 1
@@ -116,45 +137,193 @@ class MemoryController:
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
         self._now = now
-        self._deliver_completions(now)
+        completions = self._completions
+        if completions and completions[0][0] <= now:
+            self._deliver_completions(now)
         self.ms.tick(now * self.cpu_ratio, now)
+        if self._caq_items or self._lpq_items:
+            self._final_scheduler(now)
+        if self._rq_items or self._wq_items:
+            self._reorder_to_caq(now)
+        # occupancy integrals: averages fall out as sum / ticks.  Every
+        # simulated MC cycle lands here or in bulk_tick, so the
+        # integrals cover wall-cycle time, not just executed ticks.
+        values = self._stat_values
+        values["ticks"] += 1
+        values["occ_read_queue"] += len(self._rq_items)
+        values["occ_write_queue"] += len(self._wq_items)
+        values["occ_caq"] += len(self._caq_items)
+        values["occ_lpq"] += len(self._lpq_items)
+        if self.tracer.enabled and now % QUEUE_SAMPLE_INTERVAL == 0:
+            self._emit_depth_sample(now)
+
+    def tick_reference(self, now: int) -> None:
+        """The literal per-cycle tick — one MC cycle's executable
+        specification, matching the pre-fast-forward main loop: every
+        pipeline stage is invoked unconditionally, the integrals go
+        through the Stats API, and the MS block's clocks and engine
+        tick every cycle.  ``run(loop="reference")`` steps the machine
+        exclusively through this path; the guarded :meth:`tick` plus
+        :meth:`bulk_tick` must land in exactly the same state (the
+        golden equality test pins that)."""
+        self._now = now
+        self._deliver_completions(now)
+        self.ms.tick_reference(now * self.cpu_ratio, now)
         self._final_scheduler(now)
         self._reorder_to_caq(now)
         # occupancy integrals: averages fall out as sum / ticks
-        self.stats.bump("ticks")
-        self.stats.bump("occ_read_queue", len(self.queues.reads))
-        self.stats.bump("occ_write_queue", len(self.queues.writes))
-        self.stats.bump("occ_caq", len(self.caq))
-        self.stats.bump("occ_lpq", len(self.ms.lpq))
+        bump = self.stats.bump
+        bump("ticks")
+        bump("occ_read_queue", len(self.queues.reads))
+        bump("occ_write_queue", len(self.queues.writes))
+        bump("occ_caq", len(self.caq))
+        bump("occ_lpq", len(self.ms.lpq))
         if self.tracer.enabled and now % QUEUE_SAMPLE_INTERVAL == 0:
-            probe = self.core_depth_probe
-            self.tracer.emit(
-                QueueDepthSample(
-                    t=now,
-                    read_queue=len(self.queues.reads),
-                    write_queue=len(self.queues.writes),
-                    caq=len(self.caq),
-                    lpq=len(self.ms.lpq),
-                    core_outstanding=probe() if probe is not None else 0,
-                )
+            self._emit_depth_sample(now)
+
+    def _emit_depth_sample(self, t: int) -> None:
+        probe = self.core_depth_probe
+        self.tracer.emit(
+            QueueDepthSample(
+                t=t,
+                read_queue=len(self.queues.reads),
+                write_queue=len(self.queues.writes),
+                caq=len(self.caq),
+                lpq=len(self.ms.lpq),
+                core_outstanding=probe() if probe is not None else 0,
             )
+        )
+
+    # -- event-driven fast-forward support -------------------------------
+    def bulk_tick(self, start: int, cycles: int) -> None:
+        """Account ``cycles`` provably-inert MC cycles ``[start, start+cycles)``.
+
+        The event-driven main loop calls this instead of ticking
+        through a deterministic wait.  Queue contents are constant
+        across such a window by construction, so the occupancy
+        integrals are one multiplication each, and the telemetry
+        samples a per-cycle loop would have emitted at
+        ``QUEUE_SAMPLE_INTERVAL`` boundaries are emitted here with the
+        (constant) depths — a fast-forward jump leaves no holes in the
+        queue-depth series.
+        """
+        end = start + cycles - 1
+        self._now = end
+        self.ms.tick(end * self.cpu_ratio, end)
+        if self._rq_items or self._wq_items:
+            # CAQ-full wait: _reorder_to_caq still probes the oldest
+            # read for a prefetch-held bank every cycle.  The hold is
+            # monotone (held_until is frozen mid-wait), so the first
+            # window cycle decides the whole window.
+            head_read = self.queues.reads.head()
+            if (
+                self.ms.enabled
+                and head_read is not None
+                and head_read.uid not in self._conflict_counted
+                and self.dram.bank_holder(head_read.line, start)
+                is Provenance.MS_PREFETCH
+            ):
+                self._conflict_counted.add(head_read.uid)
+                self.ms.scheduler.record_conflict()
+        values = self._stat_values
+        values["ticks"] += cycles
+        values["occ_read_queue"] += len(self._rq_items) * cycles
+        values["occ_write_queue"] += len(self._wq_items) * cycles
+        values["occ_caq"] += len(self._caq_items) * cycles
+        values["occ_lpq"] += len(self._lpq_items) * cycles
+        if self.tracer.enabled:
+            first = start + (-start) % QUEUE_SAMPLE_INTERVAL
+            for t in range(first, end + 1, QUEUE_SAMPLE_INTERVAL):
+                self._emit_depth_sample(t)
+
+    def next_scheduler_event(
+        self, now: int
+    ) -> Tuple[Optional[int], Optional[MemoryCommand]]:
+        """Earliest cycle at which the Final Scheduler could act.
+
+        Pure query, only valid while the reorder->CAQ stage is frozen —
+        reorder queues empty, or the CAQ full (the caller checks).
+        Returns ``(cycle, refused)``:
+
+        * ``(None, None)`` — the scheduler cannot act until some other
+          event (a completion) changes machine state;
+        * ``(-1, None)`` — the very next tick may act (Prefetch Buffer
+          check point would fire); do not fast-forward;
+        * ``(t, cmd)`` — the pending CAQ/LPQ head ``cmd`` clears DRAM's
+          bank and bus constraints at cycle ``t``; every cycle before
+          ``t`` is a deterministic wait.  ``cmd`` records that a
+          per-cycle loop would have attempted (and been refused) DRAM
+          issue each cycle — the fast-forward path mirrors the lazy
+          refresh application and the first refusal's Figure-13
+          accounting (see :meth:`note_wait_refusal`).
+        """
+        caq_items = self._caq_items
+        caq_head = caq_items[0] if caq_items else None
+        ms = self.ms
+        lpq_items = self._lpq_items
+        lpq_head = lpq_items[0] if lpq_items else None
+        if caq_head is None and lpq_head is None:
+            return None, None
+        if caq_head is not None and caq_head.is_read and ms.would_serve(
+            caq_head.line
+        ):
+            return -1, None
+        use_lpq = False
+        if ms.enabled and lpq_head is not None:
+            # The policy predicates, inlined on the wait-path facts:
+            # reorder_has_issuable (policy 2) is only read with an
+            # empty CAQ, and the caller guarantees the reorder queues
+            # are empty whenever the CAQ is — so with an empty CAQ
+            # every policy (1's reorder_empty included) allows the LPQ
+            # head (``allows_lpq`` on the equivalent SchedulerView
+            # agrees; the golden equality test pins this).
+            caq_len = len(caq_items)
+            policy = ms.scheduler.policy
+            if caq_len == 0:
+                use_lpq = True
+            elif policy == 4:
+                use_lpq = caq_len <= 1 and len(lpq_items) >= ms.lpq.depth
+            elif policy == 5:
+                use_lpq = lpq_head.arrival < caq_head.arrival
+        cmd = lpq_head if use_lpq else caq_head
+        if cmd is None:
+            return None, None
+        return self.dram.earliest_issue_cycle(cmd), cmd
+
+    def note_wait_refusal(self, cmd: MemoryCommand, now: int) -> None:
+        """Replicate the first refused ``try_issue`` of a wait window.
+
+        A per-cycle loop retries the refused head every wait cycle; the
+        only side effect of those refusals is the Figure-13
+        delayed-regular count, and it can fire only on the *first* wait
+        cycle (the bank hold that sets ``blocked_by`` never appears
+        mid-wait — ``held_until`` is frozen until the next issue).  The
+        event-driven loop calls this once per fast-forward jump with
+        the first skipped cycle.
+        """
+        if cmd.is_ms_prefetch or cmd.uid in self._delayed_counted:
+            return
+        if self.dram.bank_holder(cmd.line, now) is Provenance.MS_PREFETCH:
+            self._delayed_counted.add(cmd.uid)
+            self.stats.bump("delayed_regular")
 
     def _deliver_completions(self, now: int) -> None:
-        while self._completions and self._completions[0][0] <= now:
-            _, _, cmd = heapq.heappop(self._completions)
+        completions = self._completions
+        values = self._stat_values
+        while completions and completions[0][0] <= now:
+            _, _, cmd = heapq.heappop(completions)
             if cmd.is_ms_prefetch:
                 self.ms.notify_complete(cmd)
             elif cmd.is_read:
                 latency = now - cmd.arrival
-                self.stats.bump(f"lat_sum_{cmd.provenance.value}", latency)
-                self.stats.bump(f"lat_cnt_{cmd.provenance.value}")
-                if latency > self.stats[f"lat_max_{cmd.provenance.value}"]:
-                    self.stats.set(f"lat_max_{cmd.provenance.value}", latency)
+                k_sum, k_cnt, k_max, k_hist = _LAT_KEYS[cmd.provenance]
+                values[k_sum] += latency
+                values[k_cnt] += 1
+                if latency > values.get(k_max, 0):
+                    values[k_max] = latency
                 # log2-bucketed histogram: bucket b counts latencies in
                 # [2^b, 2^(b+1)); bucket 0 holds 0- and 1-cycle responses
-                self.stats.bump(
-                    f"lat_hist_{cmd.provenance.value}_{max(latency, 1).bit_length() - 1}"
-                )
+                values[k_hist + str(max(latency, 1).bit_length() - 1)] += 1
                 if self.on_read_complete is not None:
                     self.on_read_complete(cmd, now)
 
@@ -168,13 +337,15 @@ class MemoryController:
 
     # -- Final Scheduler ------------------------------------------------
     def _final_scheduler(self, now: int) -> None:
+        ms = self.ms
+        caq_items = self._caq_items
         # Second Prefetch Buffer check: the head of the CAQ may have been
         # covered by a prefetch that completed while it sat in the queue.
-        while True:
-            head = self.caq.head()
-            if head is None or not head.is_read:
+        while caq_items:
+            head = caq_items[0]
+            if not head.is_read:
                 break
-            if self.ms.read_lookup(head.line):
+            if ms.read_lookup(head.line):
                 self.caq.pop()
                 self.stats.bump("pb_hits_caq")
                 self.stats.bump(f"pb_hits_{head.provenance.value}")
@@ -184,35 +355,46 @@ class MemoryController:
                     + self.config.pb_hit_latency_mc
                     + self.config.overhead_mc_cycles,
                 )
-            elif self.ms.try_merge(head):
+            elif ms.try_merge(head):
                 self.caq.pop()
                 self.stats.bump("pb_merges_caq")
                 self.stats.bump(f"pb_merges_{head.provenance.value}")
             else:
                 break
 
-        lpq = self.ms.lpq
-        caq_head = self.caq.head()
-        lpq_head = lpq.head()
+        lpq = ms.lpq
+        caq_head = caq_items[0] if caq_items else None
+        lpq_items = self._lpq_items
+        lpq_head = lpq_items[0] if lpq_items else None
         if caq_head is None and lpq_head is None:
             return
 
         use_lpq = False
-        if self.ms.enabled and lpq_head is not None:
-            drain = len(self.queues.writes) >= self.config.write_drain_threshold
-            candidates = self.queues.candidates(drain)
+        if ms.enabled and lpq_head is not None:
+            scheduler = ms.scheduler
+            caq_len = len(caq_items)
+            # reorder_has_issuable is only read by policy 2, and only
+            # when the CAQ is empty — has_issuable scans every reorder
+            # candidate against DRAM timing, so compute it lazily
+            has_issuable = False
+            if caq_len == 0 and scheduler.policy == 2:
+                drain = (
+                    len(self.queues.writes)
+                    >= self.config.write_drain_threshold
+                )
+                has_issuable = Scheduler.has_issuable(
+                    self.queues.candidates(drain), self.dram, now
+                )
             view = SchedulerView(
-                caq_len=len(self.caq),
+                caq_len=caq_len,
                 caq_head_arrival=caq_head.arrival if caq_head else None,
-                reorder_empty=self.queues.empty,
-                reorder_has_issuable=Scheduler.has_issuable(
-                    candidates, self.dram, now
-                ),
-                lpq_len=len(lpq),
-                lpq_full=lpq.full,
+                reorder_empty=not (self._rq_items or self._wq_items),
+                reorder_has_issuable=has_issuable,
+                lpq_len=len(lpq_items),
+                lpq_full=len(lpq_items) >= lpq.depth,
                 lpq_head_arrival=lpq_head.arrival,
             )
-            use_lpq = self.ms.scheduler.allows_lpq(view)
+            use_lpq = scheduler.allows_lpq(view)
 
         source = lpq if use_lpq else self.caq
         cmd = source.head()
@@ -231,9 +413,9 @@ class MemoryController:
                     self._pending_write_lines[cmd.line] = count - 1
             if cmd.is_ms_prefetch:
                 self.ms.notify_issue(cmd)
-                self.stats.bump("issued_prefetch")
+                self._stat_values["issued_prefetch"] += 1
             else:
-                self.stats.bump("issued_regular")
+                self._stat_values["issued_regular"] += 1
                 self._delayed_counted.discard(cmd.uid)
                 self._conflict_counted.discard(cmd.uid)
         elif (
@@ -247,7 +429,7 @@ class MemoryController:
 
     # -- reorder queues -> CAQ -------------------------------------------
     def _reorder_to_caq(self, now: int) -> None:
-        if self.queues.empty:
+        if not (self._rq_items or self._wq_items):
             return
 
         # Adaptive Scheduling feedback: the oldest read being held off the

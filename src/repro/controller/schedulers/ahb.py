@@ -15,7 +15,7 @@ plus history-aware tie-breaking.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional
 
 from repro.common.types import CommandKind, MemoryCommand
 from repro.controller.schedulers.base import Scheduler
@@ -39,23 +39,63 @@ class AHBScheduler(Scheduler):
     ) -> Optional[MemoryCommand]:
         if not candidates:
             return None
+        # Hot loop: runs once per MC cycle over every reorder-queue
+        # command, so the bank timing probes (ready_now / is_row_hit)
+        # are inlined against the bank fields with hoisted locals.
+        amap = dram.amap
+        nbanks = amap.total_banks
+        row_lines = amap.row_lines
+        banks = dram.banks
+        t = dram.timing
+        t_rcd = t.t_rcd
+        ready_limit = now + t_rcd + t.t_rp
+        recent = self._recent_banks
+        last_kind = self._last_kind
         best: Optional[MemoryCommand] = None
-        best_key: Optional[Tuple] = None
+        best_score = -1
+        best_arrival = 0
+        best_uid = 0
         for cmd in candidates:
-            bank, _ = dram.locate(cmd.line)
-            ready = dram.ready_now(cmd, now)
+            line = cmd.line
+            bank_i = line % nbanks
+            bank = banks[bank_i]
             score = 0
-            if ready:
-                score += 8
-            if ready and dram.is_row_hit(cmd.line):
-                score += 4
-            if bank not in self._recent_banks:
+            if now >= bank.held_until:
+                # ready_now: the CAS could start within tRCD + tRP
+                row = (line // nbanks) // row_lines
+                open_row = bank.open_row
+                if open_row == row:
+                    start = bank.cas_ready
+                    if start < now:
+                        start = now
+                    if start <= ready_limit:
+                        score = 12  # ready (8) + row hit (4)
+                else:
+                    if open_row is None:
+                        act = bank.act_ready
+                        if act < now:
+                            act = now
+                    else:
+                        act = bank.pre_ready
+                        if act < now:
+                            act = now
+                        act += t.t_rp
+                        if act < bank.act_ready:
+                            act = bank.act_ready
+                    if act + t_rcd <= ready_limit:
+                        score = 8  # ready, but opens a new row
+            if bank_i not in recent:
                 score += 2  # spread across banks: hides tRC behind others
-            if self._last_kind is not None and cmd.kind is self._last_kind:
+            if last_kind is not None and cmd.kind is last_kind:
                 score += 1  # group reads with reads: fewer bus turnarounds
-            key = (-score, cmd.arrival, cmd.uid)
-            if best_key is None or key < best_key:
-                best, best_key = cmd, key
+            if score > best_score or (
+                score == best_score
+                and (cmd.arrival, cmd.uid) < (best_arrival, best_uid)
+            ):
+                best = cmd
+                best_score = score
+                best_arrival = cmd.arrival
+                best_uid = cmd.uid
         return best
 
     def notify_issue(self, cmd: MemoryCommand, dram: DRAMDevice) -> None:

@@ -96,13 +96,28 @@ class Core:
         self._ps_inflight: Dict[int, bool] = {}
         self.retired_instructions = 0
         self.stats = Stats()
+        # hot path: per-tick stall accounting adds straight into the
+        # underlying counter mapping (see Stats.raw)
+        self._stat_values = self.stats.raw()
         controller.on_read_complete = self._on_read_complete
         controller.core_depth_probe = self.outstanding_misses
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return all(ctx.finished for ctx in self.contexts)
+        # checked once per executed main-loop cycle: the _ThreadContext
+        # fields are probed directly instead of through the `finished`
+        # property (a bound-descriptor call per thread per cycle)
+        for ctx in self.contexts:
+            if not (
+                ctx.trace_done
+                and ctx.pending is None
+                and ctx.retry_demand is None
+                and not ctx.outstanding
+                and not ctx.writebacks
+            ):
+                return False
+        return True
 
     def outstanding_misses(self) -> int:
         """Demand line misses currently in flight across all threads."""
@@ -114,16 +129,17 @@ class Core:
 
     # ------------------------------------------------------------------
     def _run_thread(self, ctx: _ThreadContext, budget: int, now: int) -> None:
+        values = self._stat_values
         while budget > 0:
             if ctx.blocked_mem:
-                self.stats.bump("stall_cycles_mem", budget)
+                values["stall_cycles_mem"] += budget
                 return
             if ctx.writebacks and not self._flush_writebacks(ctx, now):
-                self.stats.bump("stall_cycles_wb", budget)
+                values["stall_cycles_wb"] += budget
                 return
             if ctx.retry_demand is not None:
                 if not self._issue_demand(ctx, ctx.retry_demand, now):
-                    self.stats.bump("stall_cycles_queue", budget)
+                    values["stall_cycles_queue"] += budget
                     return
                 ctx.retry_demand = None
                 if ctx.blocked_mem:
@@ -262,6 +278,72 @@ class Core:
     # ------------------------------------------------------------------
     # fast-forward support
     # ------------------------------------------------------------------
+    def linear_horizon(self) -> Optional[int]:
+        """MC ticks for which every thread's tick is provably *linear*.
+
+        A linear tick burns hit-latency stall and/or instruction-gap
+        budget (or accrues memory-blocked stall) without touching the
+        caches, the controller, or the trace cursor, so its effects can
+        be applied arithmetically by :meth:`consume_wait`.
+
+        Returns ``None`` when the horizon is unbounded (every active
+        thread is waiting on memory), ``0`` when the very next tick may
+        perform an action and nothing may be skipped, and otherwise the
+        number of upcoming ticks that are guaranteed linear.
+        """
+        budget = self.budget_per_thread
+        horizon: Optional[int] = None
+        for ctx in self.contexts:
+            if ctx.blocked_mem or (
+                ctx.trace_done
+                and ctx.pending is None
+                and ctx.retry_demand is None
+                and not ctx.outstanding
+                and not ctx.writebacks
+            ):
+                continue  # wakes only via a read completion (an event)
+            if ctx.writebacks or ctx.retry_demand is not None:
+                return 0  # next tick talks to the memory controller
+            linear_cpu = ctx.stall_cpu + ctx.gap_cpu
+            if linear_cpu == 0:
+                if ctx.trace_done and ctx.pending is None:
+                    continue  # drained thread: its tick is a no-op
+                return 0  # next tick executes an access / fetches a record
+            ticks = linear_cpu // budget
+            if ticks == 0:
+                return 0
+            if horizon is None or ticks < horizon:
+                horizon = ticks
+        return horizon
+
+    def consume_wait(self, ticks: int) -> None:
+        """Apply ``ticks`` MC cycles of linear execution in one step.
+
+        Exactly replicates what ``ticks`` per-cycle calls of
+        :meth:`tick` would have done, given that
+        :meth:`linear_horizon` returned at least ``ticks``: blocked
+        threads accrue memory-stall statistics, running threads burn
+        hit-latency stall first and then instruction gap (retiring one
+        instruction per gap CPU cycle).
+        """
+        cpu = ticks * self.budget_per_thread
+        values = self._stat_values
+        for ctx in self.contexts:
+            if ctx.finished:
+                continue
+            if ctx.blocked_mem:
+                values["stall_cycles_mem"] += cpu
+                continue
+            take_stall = ctx.stall_cpu
+            if take_stall:
+                if take_stall > cpu:
+                    take_stall = cpu
+                ctx.stall_cpu -= take_stall
+            take_gap = cpu - take_stall
+            if take_gap and not (ctx.trace_done and ctx.pending is None):
+                ctx.gap_cpu -= take_gap
+                self.retired_instructions += take_gap
+
     def skippable_ticks(self) -> int:
         """MC cycles that can be bulk-skipped because every active thread
         is purely executing non-memory instructions.  0 = cannot skip."""

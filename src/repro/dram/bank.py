@@ -20,6 +20,17 @@ class Bank:
     (but never a row-conflict precharge on the critical path).
     """
 
+    __slots__ = (
+        "timing",
+        "auto_precharge",
+        "open_row",
+        "cas_ready",
+        "pre_ready",
+        "act_ready",
+        "holder",
+        "held_until",
+    )
+
     def __init__(self, timing: DRAMTimingConfig, auto_precharge: bool = False) -> None:
         self.timing = timing
         self.auto_precharge = auto_precharge

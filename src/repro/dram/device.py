@@ -46,9 +46,9 @@ class AddressMap:
         return bank, row
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueResult:
-    """Outcome of a try_issue call."""
+    """Outcome of a try_issue call (slotted: one is built per attempt)."""
 
     accepted: bool
     completion: int = 0  # cycle at which data transfer finishes
@@ -86,9 +86,13 @@ class DRAMDevice:
             self._next_refresh = [
                 config.timing.t_refi + r * step for r in range(config.ranks)
             ]
+            self._refresh_horizon = min(self._next_refresh)
         else:
             self._next_refresh = []
+            self._refresh_horizon = None
         self.stats = Stats()
+        # hot path: try_issue adds straight into the counter mapping
+        self._stat_values = self.stats.raw()
 
     # ------------------------------------------------------------------
     # refresh
@@ -100,8 +104,9 @@ class DRAMDevice:
         at its deadline.  Applied lazily from try_issue, which is exact
         enough: a refresh only matters when a command wants the rank.
         """
-        if not self._next_refresh:
-            return
+        horizon = self._refresh_horizon
+        if horizon is None or now < horizon:
+            return  # cheap path: no deadline has passed since last call
         t = self.timing
         bpr = self.config.banks_per_rank
         for rank, deadline in enumerate(self._next_refresh):
@@ -111,6 +116,19 @@ class DRAMDevice:
                 deadline += t.t_refi
                 self.stats.bump("refreshes")
             self._next_refresh[rank] = deadline
+        self._refresh_horizon = min(self._next_refresh)
+
+    def catch_up_refreshes(self, now: int) -> None:
+        """Apply every refresh deadline up to ``now`` in one call.
+
+        Refresh application is lazy and order-insensitive (pure
+        ``max`` catch-ups plus a deadline-driven counter), so one call
+        here is exactly equivalent to the per-cycle ``try_issue``
+        attempts a literal loop would have made across a fast-forward
+        window.  The event-driven loop calls this when it jumps over a
+        window in which a CAQ/LPQ head was waiting on DRAM timing.
+        """
+        self._apply_refreshes(now)
 
     # ------------------------------------------------------------------
     # queries
@@ -142,6 +160,19 @@ class DRAMDevice:
         start = bank.access_start(row, now)
         return start <= now + self.timing.t_rcd + self.timing.t_rp
 
+    def earliest_issue_cycle(self, cmd: MemoryCommand) -> int:
+        """Earliest cycle :meth:`try_issue` could accept ``cmd``.
+
+        Pure query used by the event-driven loop: acceptance requires
+        the target bank to have released its in-flight hold and the
+        data bus to be within :data:`MAX_BUS_LEAD` of reservation.
+        (Refresh blocks delay the *access*, not acceptance — they are
+        folded into the completion time by ``reserve``.)  The returned
+        cycle may be in the past, meaning the command is issuable now.
+        """
+        bank = self.banks[cmd.line % self.amap.total_banks]
+        return max(bank.held_until, self.bus_free_at - self.MAX_BUS_LEAD)
+
     # ------------------------------------------------------------------
     # issue
     # ------------------------------------------------------------------
@@ -153,28 +184,35 @@ class DRAMDevice:
         far into the future; otherwise the bank and a bus slot are
         reserved and the completion cycle is returned.
         """
-        self._apply_refreshes(now)
-        bank_i, row = self.amap.locate(cmd.line)
+        horizon = self._refresh_horizon
+        if horizon is not None and now >= horizon:
+            self._apply_refreshes(now)
+        amap = self.amap
+        line = cmd.line
+        bank_i = line % amap.total_banks
         bank = self.banks[bank_i]
-        if bank.busy_at(now):
+        if now < bank.held_until:
             return IssueResult(False, blocked_by=bank.holder_at(now))
         if self.bus_free_at > now + self.MAX_BUS_LEAD:
             return IssueResult(False)
 
-        cas_at, activated = bank.reserve(row, now, cmd.is_write)
+        row = (line // amap.total_banks) // amap.row_lines
+        is_write = cmd.is_write
+        cas_at, activated = bank.reserve(row, now, is_write)
         t = self.timing
-        lead = t.t_wl if cmd.is_write else t.t_cl
+        lead = t.t_wl if is_write else t.t_cl
         data_start = max(cas_at + lead, self.bus_free_at)
         completion = data_start + t.burst_cycles
         self.bus_free_at = completion
         bank.hold(cmd.provenance, completion)
 
-        self.stats.bump("issued")
-        self.stats.bump("issued_writes" if cmd.is_write else "issued_reads")
+        values = self._stat_values
+        values["issued"] += 1
+        values["issued_writes" if is_write else "issued_reads"] += 1
         if activated:
-            self.stats.bump("activations")
+            values["activations"] += 1
         else:
-            self.stats.bump("row_hits")
+            values["row_hits"] += 1
         if self.power is not None:
             self.power.record_access(cmd.is_write, activated)
         if self.tracer.enabled:

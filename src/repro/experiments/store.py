@@ -38,7 +38,9 @@ from repro.system.results import RunResult
 
 #: Bumped whenever the stored payload or key layout changes; part of
 #: every key, so old-format entries are simply never matched.
-STORE_VERSION = 1
+#: 2: ``mc.ticks`` / ``mc.occ_*`` integrals now cover fast-forwarded
+#: cycles, so occupancy averages from version-1 entries don't compare.
+STORE_VERSION = 2
 
 #: Default store location, relative to the working directory.
 DEFAULT_ROOT = ".repro-results"

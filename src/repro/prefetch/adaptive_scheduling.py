@@ -28,9 +28,13 @@ from repro.telemetry.events import PolicyChange
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerView:
-    """Snapshot of queue state the policy predicates look at."""
+    """Snapshot of queue state the policy predicates look at.
+
+    Slotted: the Final Scheduler builds one per cycle whenever the LPQ
+    holds a command.
+    """
 
     caq_len: int
     caq_head_arrival: Optional[int]

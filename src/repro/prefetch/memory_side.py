@@ -65,6 +65,14 @@ class MemorySidePrefetcher:
         #: set by the controller: delivers merged reads on completion
         self.on_merge_ready: Optional[MergeCallback] = None
         self._reads_this_epoch = 0
+        # tick() fast path: only the ASD engine with CPU-cycle stream
+        # lifetimes has per-cycle work (read-clock lifetimes expire
+        # inside observe_read; the other engines keep no timed state)
+        self._tick_engine = (
+            self.enabled
+            and isinstance(self.engine, ASDEngine)
+            and not self.engine._reads_clock
+        )
         self.stats = Stats()
 
     # ------------------------------------------------------------------
@@ -133,6 +141,23 @@ class MemorySidePrefetcher:
                 )
             return True
         return False
+
+    def would_serve(self, line: int) -> bool:
+        """Side-effect-free probe: would :meth:`read_lookup` or
+        :meth:`try_merge` act on a Read to ``line`` right now?
+
+        Used by the event-driven loop's wait detection — a CAQ head
+        whose line this returns True for will be consumed at the next
+        tick's Prefetch Buffer check point, so the machine is not in a
+        deterministic wait.
+        """
+        if not self.enabled:
+            return False
+        return (
+            self.lpq.contains_line(line)
+            or self.buffer.contains(line)
+            or (line in self.in_flight and line not in self._cancelled)
+        )
 
     def try_merge(self, cmd: MemoryCommand) -> bool:
         """Attach a regular Read to an in-flight prefetch of its line.
@@ -208,12 +233,25 @@ class MemorySidePrefetcher:
         """Let the engine expire time-based state (Stream Filter slots).
 
         ``now_mc`` keeps the telemetry clock of this block and its
-        queues current; callers that never trace may omit it.
+        queues current; callers that never trace may omit it.  The
+        clocks exist purely to timestamp traced events, so they are
+        only maintained while the tracer is on.
         """
-        if now_mc is not None:
+        if now_mc is not None and self.tracer.enabled:
             self.now_mc = now_mc
             self.buffer.now_mc = now_mc
             self.lpq.now_mc = now_mc
+        if self._tick_engine:
+            self.engine.tick(now_cpu)
+
+    def tick_reference(self, now_cpu: int, now_mc: int) -> None:
+        """Per-cycle tick exactly as the pre-fast-forward simulator ran
+        it: the telemetry clocks advance and the engine ticks
+        unconditionally every MC cycle.  The reference main loop steps
+        through this; :meth:`tick` reaches the same state lazily."""
+        self.now_mc = now_mc
+        self.buffer.now_mc = now_mc
+        self.lpq.now_mc = now_mc
         if self.enabled:
             self.engine.tick(now_cpu)
 

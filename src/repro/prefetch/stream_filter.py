@@ -33,9 +33,9 @@ from repro.common.types import Direction
 EvictionCallback = Callable[[int, Direction], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamObservation:
-    """What the filter concluded about one Read.
+    """What the filter concluded about one Read (slotted: one per Read).
 
     ``position`` is k, the element index of this read within its stream
     (1 for a fresh stream).  ``tracked`` is False when the filter was
@@ -67,6 +67,11 @@ class StreamFilter:
     :meth:`observe` doing it implicitly.
     """
 
+    __slots__ = ("config", "on_evict", "slots", "stats", "_soonest_expiry")
+
+    #: sentinel horizon when the filter holds no slots
+    _NEVER = float("inf")
+
     def __init__(
         self,
         config: StreamFilterConfig,
@@ -77,6 +82,11 @@ class StreamFilter:
         self.on_evict = on_evict
         self.slots: List[_Slot] = []
         self.stats = Stats()
+        # Lower bound on the earliest live expiry: expire() is a no-op
+        # (and skips its scan) while now is below it.  Advances only
+        # push expiries later, so the bound can go stale-low — that
+        # costs a redundant scan, never a missed eviction.
+        self._soonest_expiry = self._NEVER
 
     # ------------------------------------------------------------------
     def _evict(self, slot: _Slot) -> None:
@@ -88,8 +98,13 @@ class StreamFilter:
 
     def expire(self, now_cpu: int) -> None:
         """Evict every slot whose lifetime has run out."""
+        if now_cpu < self._soonest_expiry:
+            return
         for slot in [s for s in self.slots if s.expires_at <= now_cpu]:
             self._evict(slot)
+        self._soonest_expiry = min(
+            (s.expires_at for s in self.slots), default=self._NEVER
+        )
 
     def flush(self, callback: Optional[EvictionCallback] = None) -> None:
         """Epoch boundary: evict all streams.
@@ -104,6 +119,7 @@ class StreamFilter:
             sink = callback if callback is not None else self.on_evict
             if sink is not None:
                 sink(slot.length, slot.direction)
+        self._soonest_expiry = self._NEVER
 
     # ------------------------------------------------------------------
     def observe(self, line: int, now_cpu: int) -> StreamObservation:
@@ -135,6 +151,9 @@ class StreamFilter:
 
         if len(self.slots) < cfg.slots:
             self.slots.append(_Slot(line, now_cpu, cfg.lifetime_init))
+            expiry = now_cpu + cfg.lifetime_init
+            if expiry < self._soonest_expiry:
+                self._soonest_expiry = expiry
             self.stats.bump("allocations")
             return StreamObservation(1, Direction.ASCENDING, True, line)
 

@@ -10,13 +10,22 @@ simulate` is the one-call entry point.
 
 from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
 from repro.system.results import RunResult
-from repro.system.simulator import System, simulate
+from repro.system.simulator import (
+    LOOP_MODES,
+    System,
+    default_loop_mode,
+    resolve_loop_mode,
+    simulate,
+)
 
 __all__ = [
     "ABLATION_CONFIGS",
     "CONFIG_NAMES",
+    "LOOP_MODES",
     "RunResult",
     "System",
+    "default_loop_mode",
     "make_config",
+    "resolve_loop_mode",
     "simulate",
 ]

@@ -6,14 +6,26 @@ memory-side prefetcher, the DRAM device, and the DRAM power model, and
 steps them in the MC (DDR bus) clock domain until every trace has been
 consumed and the memory system has drained.
 
-A bulk fast-forward kicks in whenever the memory system is idle and all
-threads are executing pure instruction gaps, so compute-bound phases
-cost O(1) instead of O(cycles).
+Two main-loop modes produce field-for-field identical
+:class:`~repro.system.results.RunResult`\\ s:
+
+* ``"event"`` (default) — event-driven: whenever the machine is in a
+  *deterministic wait* (reorder queues empty, every thread blocked on
+  memory or burning pure stall/instruction-gap cycles, and the
+  CAQ/LPQ heads — if any — refused by DRAM bank/bus timing), the loop
+  computes the next "interesting" cycle from ``min(next completion,
+  DRAM issue-ready, next core event)`` and jumps there, applying the
+  skipped cycles' accounting in bulk.  Waits and compute stretches
+  cost O(1) instead of O(cycles).
+* ``"reference"`` — the literal per-cycle tick, kept as the executable
+  specification; the golden equality test and ``REPRO_LOOP=reference``
+  pin optimized runs against it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SystemConfig
 from repro.common.stats import Stats
@@ -31,6 +43,29 @@ from repro.workloads.trace import Trace
 
 #: Hard cap so a mis-configured run fails loudly instead of spinning.
 DEFAULT_MAX_CYCLES = 200_000_000
+
+#: Recognised main-loop modes (see the module docstring).
+LOOP_MODES = ("event", "reference")
+
+
+def default_loop_mode() -> str:
+    """The main-loop mode used when none is passed (env-overridable).
+
+    ``REPRO_LOOP=reference`` forces every run onto the literal
+    per-cycle loop — useful for CI golden checks and for bisecting a
+    suspected fast-forward bug.
+    """
+    return os.environ.get("REPRO_LOOP", "event")
+
+
+def resolve_loop_mode(loop: Optional[str]) -> str:
+    """Apply the default for ``None`` and validate the mode name."""
+    mode = default_loop_mode() if loop is None else loop
+    if mode not in LOOP_MODES:
+        raise ValueError(
+            f"unknown loop mode {mode!r}; expected one of {LOOP_MODES}"
+        )
+    return mode
 
 
 class System:
@@ -83,33 +118,172 @@ class System:
         self.traces = traces
         self.now = 0
         self._ran = False
+        #: main-loop instrumentation (kept out of RunResult.stats so
+        #: that loop modes stay field-for-field comparable): executed
+        #: ticks, fast-forward jumps, and cycles covered by jumps.
+        self.loop_stats: Dict[str, int] = {
+            "mode": "",
+            "ticks_executed": 0,
+            "jumps": 0,
+            "cycles_skipped": 0,
+        }
         if probes is not None:
             probes.bind(self)
 
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
-        """Simulate to completion and return the measured result."""
+    def run(
+        self,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        loop: Optional[str] = None,
+    ) -> RunResult:
+        """Simulate to completion and return the measured result.
+
+        ``loop`` selects the main-loop mode (default:
+        :func:`default_loop_mode`).  Both modes return identical
+        results; ``"event"`` fast-forwards deterministic waits.
+        """
         if self._ran:
             raise RuntimeError("a System instance runs exactly once")
         self._ran = True
+        mode = resolve_loop_mode(loop)
+        self.loop_stats["mode"] = mode
+        if mode == "event":
+            return self._run_event(max_cycles)
+        return self._run_reference(max_cycles)
 
-        while not (self.core.done and self.controller.idle()):
-            self.controller.tick(self.now)
-            self.core.tick(self.now)
-            self.now += 1
-            if self.now > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles; "
-                    "likely a deadlock or runaway configuration"
-                )
-            # bulk-skip pure-compute stretches while memory is idle
-            if self.controller.idle():
-                skip = self.core.skippable_ticks()
-                if skip > 1:
-                    self.core.consume_bulk(skip - 1)
-                    self.now += skip - 1
+    def _cap_exceeded(self, ticks: int, max_cycles: int) -> RuntimeError:
+        self.loop_stats["ticks_executed"] = ticks
+        return RuntimeError(
+            f"simulation exceeded {max_cycles} cycles; "
+            "likely a deadlock or runaway configuration"
+        )
 
+    def _run_reference(self, max_cycles: int) -> RunResult:
+        """The literal per-cycle loop: tick every MC cycle, no jumps."""
+        controller = self.controller
+        core = self.core
+        controller_tick = controller.tick_reference
+        core_tick = core.tick
+        ticks = 0
+        while not (core.done and controller.idle()):
+            now = self.now
+            controller_tick(now)
+            core_tick(now)
+            ticks += 1
+            self.now = now + 1
+            if now >= max_cycles:
+                raise self._cap_exceeded(ticks, max_cycles)
+        self.loop_stats["ticks_executed"] = ticks
         return self._collect()
+
+    def _run_event(self, max_cycles: int) -> RunResult:
+        """The event-driven loop: tick, then jump deterministic waits."""
+        controller = self.controller
+        core = self.core
+        controller_tick = controller.tick
+        core_tick = core.tick
+        # dense-phase gate, inlined: while commands flow reorder->CAQ
+        # the machine acts every cycle, so wait detection is skipped on
+        # one deque truth-test and one length compare
+        rq_items = controller._rq_items
+        wq_items = controller._wq_items
+        caq_items = controller._caq_items
+        caq_depth = controller.caq.depth
+        ticks = 0
+        while not (core.done and controller.idle()):
+            now = self.now
+            controller_tick(now)
+            core_tick(now)
+            ticks += 1
+            self.now = now + 1
+            if now >= max_cycles:
+                raise self._cap_exceeded(ticks, max_cycles)
+            if (rq_items or wq_items) and len(caq_items) < caq_depth:
+                continue
+            skip, refused = self._deterministic_wait(max_cycles)
+            if skip > 0:
+                self._fast_forward(skip, refused)
+                if self.now > max_cycles:
+                    # a wait extended past the cap: fail exactly as
+                    # the per-cycle loop would after ticking there
+                    raise self._cap_exceeded(ticks, max_cycles)
+        self.loop_stats["ticks_executed"] = ticks
+        return self._collect()
+
+    # ------------------------------------------------------------------
+    # event-driven fast-forward
+    # ------------------------------------------------------------------
+    def _deterministic_wait(self, max_cycles: int) -> Tuple[int, object]:
+        """How many upcoming cycles are provably inert, if any.
+
+        A cycle is *inert* when ticking through it would only advance
+        time: the reorder->CAQ stage is frozen (reorder queues empty,
+        or the FIFO CAQ full so nothing may move), every thread is
+        blocked on memory or linearly burning stall/gap budget, no
+        completion is due, and any pending CAQ/LPQ head is refused by
+        DRAM bank/bus timing.  Returns ``(skip, refused)`` where
+        ``skip`` may be 0 (do not jump) and ``refused`` is the command
+        a per-cycle loop would have been retrying against DRAM each
+        wait cycle (None when the wait holds no such head).
+
+        The CAQ-full case is safe for the Adaptive Scheduling
+        predicates: the reorder-dependent policies (1-3) all require an
+        empty CAQ, so with the CAQ occupied the LPQ/CAQ choice depends
+        only on queue lengths and arrival stamps — all frozen across
+        the window.
+        """
+        controller = self.controller
+        if (controller._rq_items or controller._wq_items) and len(
+            controller._caq_items
+        ) < controller.caq.depth:
+            return 0, None
+        horizon = self.core.linear_horizon()
+        if horizon == 0:
+            return 0, None
+        now = self.now
+        bound: Optional[int] = None  # absolute cycle of the next event
+        completions = controller._completions
+        if completions:
+            bound = completions[0][0]
+        sched_at, refused = controller.next_scheduler_event(now)
+        if sched_at is not None:
+            if sched_at <= now:
+                return 0, None  # next tick may act (issue or PB hit)
+            if bound is None or sched_at < bound:
+                bound = sched_at
+        if horizon is not None:
+            core_at = now + horizon
+            if bound is None or core_at < bound:
+                bound = core_at
+        if bound is None:
+            # nothing queued, nothing in flight, nothing running: a
+            # deadlocked or mis-wired machine — let the per-cycle path
+            # walk into the max_cycles guard loudly
+            return 0, None
+        skip = bound - now
+        if skip <= 0:
+            return 0, None
+        cap = max_cycles + 1 - now
+        if skip > cap:
+            skip = cap  # never silently sail past the cycle guard
+        return skip, refused
+
+    def _fast_forward(self, skip: int, refused) -> None:
+        """Jump ``skip`` inert cycles, applying their accounting in bulk."""
+        self.controller.bulk_tick(self.now, skip)
+        if refused is not None:
+            # a per-cycle loop would have probed DRAM each wait cycle:
+            # lazily applying refresh deadlines along the way, and
+            # counting the head as MS-delayed on the first refusal
+            self.controller.note_wait_refusal(refused, self.now)
+            self.dram.catch_up_refreshes(self.now + skip - 1)
+        self.core.consume_wait(skip)
+        self.now += skip
+        stats = self.loop_stats
+        stats["jumps"] += 1
+        stats["cycles_skipped"] += skip
+
+    # ------------------------------------------------------------------
 
     # ------------------------------------------------------------------
     def _collect(self) -> RunResult:
@@ -153,12 +327,15 @@ def simulate(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     tracer: Optional[Tracer] = None,
     probes: Optional[EpochProbes] = None,
+    loop: Optional[str] = None,
 ) -> RunResult:
     """Build a :class:`System` from ``config`` and run it on ``traces``.
 
     ``tracer`` / ``probes`` switch on the telemetry subsystem for this
-    run (see :mod:`repro.telemetry`); both default to off.
+    run (see :mod:`repro.telemetry`); both default to off.  ``loop``
+    selects the main-loop mode (``"event"`` / ``"reference"``, default
+    :func:`default_loop_mode`); results are identical either way.
     """
     return System(config, traces, tracer=tracer, probes=probes).run(
-        max_cycles=max_cycles
+        max_cycles=max_cycles, loop=loop
     )

@@ -1,0 +1,98 @@
+"""Unit tests for the perf measurement helper and regression gate."""
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_FAIL_THRESHOLD,
+    PERF_SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    measure_suite,
+    write_report,
+)
+
+TINY = dict(
+    configs=("NP", "PMS"),
+    accesses=300,
+    benchmarks=("bwaves",),
+    threads=1,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return measure_suite("spec2006fp", **TINY)
+
+
+class TestMeasureSuite:
+    def test_report_shape(self, tiny_report):
+        report = tiny_report
+        assert report["schema"] == PERF_SCHEMA_VERSION
+        assert report["suite"] == "spec2006fp"
+        assert report["benchmarks"] == ["bwaves"]
+        assert report["configs"] == ["NP", "PMS"]
+        assert report["accesses"] == 300
+        assert set(report["modes"]) == {"event", "reference"}
+        for mode in report["modes"].values():
+            assert mode["cycles"] > 0
+            assert mode["wall_seconds"] >= 0
+            assert mode["cycles_per_second"] > 0
+        assert report["speedup_vs_reference"] > 0
+
+    def test_both_modes_simulate_the_same_cycles(self, tiny_report):
+        modes = tiny_report["modes"]
+        assert modes["event"]["cycles"] == modes["reference"]["cycles"]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown loop mode"):
+            measure_suite("spec2006fp", modes=("turbo",), **TINY)
+
+    def test_roundtrip(self, tiny_report, tmp_path):
+        path = str(tmp_path / "perf.json")
+        write_report(path, tiny_report)
+        assert load_report(path) == tiny_report
+
+
+def _report(schema=PERF_SCHEMA_VERSION, suite="spec2006fp", speedup=1.4):
+    return {
+        "schema": schema,
+        "suite": suite,
+        "speedup_vs_reference": speedup,
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        assert compare_reports(_report(), _report()) == []
+
+    def test_small_drop_within_threshold_passes(self):
+        current = _report(speedup=1.4 * (1 - DEFAULT_FAIL_THRESHOLD) + 0.01)
+        assert compare_reports(current, _report(speedup=1.4)) == []
+
+    def test_improvement_passes(self):
+        assert compare_reports(_report(speedup=2.0), _report(speedup=1.4)) == []
+
+    def test_regression_fails(self):
+        problems = compare_reports(_report(speedup=1.0), _report(speedup=1.4))
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_threshold_is_respected(self):
+        current, baseline = _report(speedup=1.0), _report(speedup=1.4)
+        assert compare_reports(current, baseline, threshold=0.5) == []
+        assert compare_reports(current, baseline, threshold=0.1)
+
+    def test_schema_mismatch_fails(self):
+        problems = compare_reports(_report(schema=99), _report())
+        assert problems and "schema mismatch" in problems[0]
+
+    def test_suite_mismatch_fails(self):
+        problems = compare_reports(_report(suite="nas"), _report())
+        assert problems and "suite mismatch" in problems[0]
+
+    def test_missing_ratio_fails(self):
+        current = _report()
+        del current["speedup_vs_reference"]
+        problems = compare_reports(current, _report())
+        assert problems and "missing" in problems[0]
