@@ -12,8 +12,8 @@
 
 from repro.analysis.hardware import HardwareCost, estimate_cost
 from repro.analysis.metrics import ConfigComparison, SuiteResult, compare_runs
-from repro.analysis.slh_accuracy import exact_slh, slh_rms_error
 from repro.analysis.report import format_bar_chart, format_table
+from repro.analysis.slh_accuracy import exact_slh, slh_rms_error
 
 __all__ = [
     "ConfigComparison",

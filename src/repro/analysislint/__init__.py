@@ -1,0 +1,46 @@
+"""repro.analysislint — simulator-invariant static analysis.
+
+Off-the-shelf linters check Python; this package checks the
+*simulator*.  Every rule here encodes an invariant that a past bug (or
+a near-miss) showed the hot-path refactors can silently violate:
+
+* ``DET*`` — **determinism**: no wall-clock, no unseeded randomness,
+  no set-iteration-order dependence inside the simulated machine
+  (``repro.{controller,dram,cpu,cache,prefetch,system}``).  Telemetry
+  and perf modules are allowlisted — tracer self-measurement
+  legitimately reads ``time.perf_counter``.
+* ``PAR*`` — **dual-path parity**: a class that defines both ``tick``
+  and ``tick_reference`` must bump the same statically-extractable
+  stats keys and emit the same tracer event kinds from both bodies.
+* ``CYC*`` — **cycle accounting**: a function that writes a
+  cycle/fast-forward variable must also integrate the skipped time
+  into the ``ticks``/``occ_*`` counters (directly or by delegating to
+  an accounting method) or carry an explicit ``# lint: no-integral``
+  waiver.
+* ``REG*`` — **stats-key registry**: every statically-extractable key
+  passed to ``Stats.bump``/``set`` or indexed through ``Stats.raw()``
+  must appear in the generated ``repro/common/stat_keys.py`` registry;
+  reads of keys no writer produces are flagged as typos.
+* ``HYG*`` — **hot-path hygiene**: dataclasses in the
+  controller/dram/prefetch hot paths declare ``slots``, and nothing
+  the per-tick event loop executes calls ``datetime.now()``-style
+  wall-clock helpers.
+
+See ``docs/linting.md`` for the rule catalogue, the waiver comment
+syntax, the baseline workflow, and registry regeneration.
+"""
+
+from repro.analysislint.core import Finding, SourceFile, SourceTree
+from repro.analysislint.rules import Rule, all_rules, rule_titles
+from repro.analysislint.runner import LintResult, run_lint
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SourceFile",
+    "SourceTree",
+    "all_rules",
+    "rule_titles",
+    "run_lint",
+]

@@ -1,0 +1,83 @@
+"""Baseline handling — grandfathering findings without losing teeth.
+
+The baseline file (default ``.lint-baseline.json``, committed at the
+repo root) holds the fingerprints of findings that predate a rule and
+are accepted for now.  The runner splits findings into *new* (fail CI)
+and *baselined* (reported, tolerated); baseline entries that no longer
+match anything are *stale* and reported so the file shrinks over time
+instead of rotting.
+
+Fingerprints are line-number-free (rule, path, enclosing symbol,
+message), so unrelated edits to a file do not un-baseline its
+grandfathered findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysislint.core import Finding
+
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+@dataclass
+class BaselineSplit:
+    """Findings partitioned against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)  # unmatched fingerprints
+
+
+def load_baseline(path: str) -> List[str]:
+    """Fingerprints from a baseline file (missing file = empty)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("findings", [])
+    out: List[str] = []
+    for entry in data:
+        if isinstance(entry, str):
+            out.append(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            out.append(str(entry["fingerprint"]))
+    return out
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    payload: Dict[str, object] = {
+        "comment": (
+            "Grandfathered analysislint findings; see docs/linting.md. "
+            "Regenerate with tools/lint.py --update-baseline."
+        ),
+        "findings": fingerprints,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_against_baseline(
+    findings: List[Finding], baseline: List[str]
+) -> BaselineSplit:
+    """Partition ``findings`` into new vs baselined, noting stale entries."""
+    known = set(baseline)
+    split = BaselineSplit()
+    matched = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in known:
+            split.baselined.append(finding)
+            matched.add(fp)
+        else:
+            split.new.append(finding)
+    split.stale = sorted(known - matched)
+    return split

@@ -1,0 +1,117 @@
+"""HYG rules — hot-path object hygiene.
+
+The event loop allocates tens of thousands of small objects per run
+(commands, issue results, evictions); a dataclass without ``slots``
+costs a dict per instance and a dict lookup per field access on the
+hottest lines in the simulator.  And nothing executed per tick may
+consult the host's clock (see also DET001 — this rule covers the
+``datetime`` module family, which the determinism rule leaves to it).
+
+* ``HYG001`` — every ``@dataclass`` in ``repro.{controller,dram,
+  prefetch}`` must declare ``slots=True`` (waiver: ``# lint: no-slots``
+  on the decorator line, for classes that genuinely need ``__dict__``).
+* ``HYG002`` — no ``datetime.now()``-style calls anywhere in the
+  simulated machine packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysislint.core import Finding, SourceTree, call_name
+from repro.analysislint.rules import HOT_PACKAGES, SIM_PACKAGES, Rule
+
+_DATETIME_CALLS = {
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+class SlotsRule(Rule):
+    """HYG001: hot-path dataclasses must declare ``slots=True``."""
+
+    id = "HYG001"
+    title = "hot-path dataclasses must declare slots"
+    shorthand = "no-slots"
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for sf in tree.in_packages(HOT_PACKAGES):
+            for cls in sf.classes():
+                decorator = self._dataclass_decorator(cls)
+                if decorator is None:
+                    continue
+                if self._has_slots(decorator):
+                    continue
+                line = decorator.lineno
+                if sf.waived(line, self.id, self.shorthand) or sf.waived(
+                    cls.lineno, self.id, self.shorthand
+                ):
+                    continue
+                findings.append(
+                    self.finding(
+                        sf.relpath,
+                        line,
+                        f"dataclass {cls.name} in a hot-path package "
+                        "without slots=True — a __dict__ per instance on "
+                        "the per-tick allocation path",
+                        cls.name,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _dataclass_decorator(cls: ast.ClassDef):
+        for dec in cls.decorator_list:
+            if isinstance(dec, ast.Name) and dec.id == "dataclass":
+                return dec
+            if (
+                isinstance(dec, ast.Call)
+                and call_name(dec) in ("dataclass", "dataclasses.dataclass")
+            ):
+                return dec
+            if isinstance(dec, ast.Attribute) and dec.attr == "dataclass":
+                return dec
+        return None
+
+    @staticmethod
+    def _has_slots(decorator: ast.AST) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False  # bare @dataclass
+        for kw in decorator.keywords:
+            if kw.arg == "slots" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+        return False
+
+
+class HotPathDatetimeRule(Rule):
+    """HYG002: no ``datetime.now()``-style calls in the simulated machine."""
+
+    id = "HYG002"
+    title = "no datetime.now()-style calls in the simulated machine"
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for sf in tree.in_packages(SIM_PACKAGES):
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _DATETIME_CALLS and not sf.waived(node, self.id):
+                    findings.append(
+                        self.finding(
+                            sf.relpath,
+                            node.lineno,
+                            f"wall-clock call {name}() — nothing the event "
+                            "loop executes may consult the host clock",
+                            sf.qualname(node),
+                        )
+                    )
+        return findings

@@ -1,0 +1,196 @@
+"""PAR rules — the event-driven and reference tick paths must agree.
+
+PR 3 split the main loop: ``tick`` is the guarded/hot path,
+``tick_reference`` the literal per-cycle oracle.  The golden equality
+tests prove *behavioural* equality on the suites they run; these rules
+prove *structural* equality on every class that defines both paths, so
+a refactor that adds a counter or a tracer event to one body and not
+the other is caught at lint time, before any golden test runs:
+
+* ``PAR001`` — both bodies must write the same statically-extractable
+  set of stats keys;
+* ``PAR002`` — both bodies must emit the same set of tracer event
+  kinds.
+
+Both checks look one call level deep within the class: a key bumped by
+``self._reorder_to_caq`` counts for whichever body calls it, so shared
+helpers do not create false divergence, and moving an emit into a
+helper used by only one path is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysislint.core import Finding, SourceFile, SourceTree
+from repro.analysislint.rules import Rule
+from repro.analysislint.statsmodel import scan_stats_usage
+
+#: The dual-path method pair this rule keys on.
+PAIR = ("tick", "tick_reference")
+
+
+def _class_pairs(sf: SourceFile) -> List[Tuple[ast.ClassDef, Dict[str, ast.FunctionDef]]]:
+    """Classes defining both paths, with their full method tables."""
+    out = []
+    for cls in sf.classes():
+        methods = {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        if all(name in methods for name in PAIR):
+            out.append((cls, methods))
+    return out
+
+
+def _called_self_methods(func: ast.FunctionDef) -> Set[str]:
+    """Names of ``self.X(...)`` calls plus locally aliased bound methods
+    (``f = self.X`` followed by ``f(...)``)."""
+    aliases: Dict[str, str] = {}
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            aliases[node.targets[0].id] = node.value.attr
+        if isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id == "self"
+            ):
+                called.add(func_expr.attr)
+            elif isinstance(func_expr, ast.Name) and func_expr.id in aliases:
+                called.add(aliases[func_expr.id])
+    return called
+
+
+def _direct_event_kinds(func: ast.FunctionDef) -> Set[str]:
+    """Tracer event classes constructed inside ``X.emit(Kind(...))``."""
+    kinds: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+        ):
+            kinds.add(node.args[0].func.id)
+    return kinds
+
+
+class _PairAnalysis:
+    """Per-class key/event sets for both paths, shared by PAR001/2."""
+
+    def __init__(
+        self, sf: SourceFile, cls: ast.ClassDef, methods: Dict[str, ast.FunctionDef]
+    ) -> None:
+        self.sf = sf
+        self.cls = cls
+        usage = scan_stats_usage(sf)
+        # literal keys written per method qualname
+        key_writes: Dict[str, Set[str]] = {}
+        for use in usage.writes():
+            if use.kind != "literal":
+                continue
+            key_writes.setdefault(use.symbol, set()).update(use.keys)
+        self.keys: Dict[str, Set[str]] = {}
+        self.events: Dict[str, Set[str]] = {}
+        for name in PAIR:
+            func = methods[name]
+            qual = sf.qualname(func)
+            keys = set(key_writes.get(qual, ()))
+            events = _direct_event_kinds(func)
+            for callee_name in _called_self_methods(func):
+                callee = methods.get(callee_name)
+                if callee is None:
+                    continue
+                keys.update(key_writes.get(sf.qualname(callee), ()))
+                events.update(_direct_event_kinds(callee))
+            self.keys[name] = keys
+            self.events[name] = events
+
+
+def _analyses(tree: SourceTree) -> List[_PairAnalysis]:
+    out = []
+    for sf in tree:
+        for cls, methods in _class_pairs(sf):
+            out.append(_PairAnalysis(sf, cls, methods))
+    return out
+
+
+def _describe_divergence(a: Set[str], b: Set[str]) -> str:
+    only_tick = sorted(a - b)
+    only_ref = sorted(b - a)
+    parts = []
+    if only_tick:
+        parts.append(f"only in tick: {', '.join(only_tick)}")
+    if only_ref:
+        parts.append(f"only in tick_reference: {', '.join(only_ref)}")
+    return "; ".join(parts)
+
+
+class StatsParityRule(Rule):
+    """PAR001: ``tick`` and ``tick_reference`` write the same stat keys."""
+
+    id = "PAR001"
+    title = "tick and tick_reference must write the same stats keys"
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for pa in _analyses(tree):
+            tick_keys = pa.keys[PAIR[0]]
+            ref_keys = pa.keys[PAIR[1]]
+            if tick_keys == ref_keys:
+                continue
+            line = pa.cls.lineno
+            if pa.sf.waived(line, self.id):
+                continue
+            findings.append(
+                self.finding(
+                    pa.sf.relpath,
+                    line,
+                    f"{pa.cls.name}: dual-path stats divergence — "
+                    + _describe_divergence(tick_keys, ref_keys),
+                    pa.cls.name,
+                )
+            )
+        return findings
+
+
+class EventParityRule(Rule):
+    """PAR002: ``tick`` and ``tick_reference`` emit the same event types."""
+
+    id = "PAR002"
+    title = "tick and tick_reference must emit the same tracer events"
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for pa in _analyses(tree):
+            tick_events = pa.events[PAIR[0]]
+            ref_events = pa.events[PAIR[1]]
+            if tick_events == ref_events:
+                continue
+            line = pa.cls.lineno
+            if pa.sf.waived(line, self.id):
+                continue
+            findings.append(
+                self.finding(
+                    pa.sf.relpath,
+                    line,
+                    f"{pa.cls.name}: dual-path tracer-event divergence — "
+                    + _describe_divergence(tick_events, ref_events),
+                    pa.cls.name,
+                )
+            )
+        return findings

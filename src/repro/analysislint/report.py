@@ -1,0 +1,58 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both render the same :class:`~repro.analysislint.runner.LintResult`;
+the text form is what CI prints on failure, the JSON form is for
+tooling (and for the unit tests, which assert on structure instead of
+scraping text).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysislint.baseline import BaselineSplit
+from repro.analysislint.core import Finding
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def render_text(split: BaselineSplit, checked_files: int) -> str:
+    """The human report: new findings first, then baseline noise."""
+    lines: List[str] = []
+    for finding in _sorted(split.new):
+        lines.append(finding.render())
+    if split.baselined:
+        lines.append("")
+        lines.append(f"baselined (tolerated) findings: {len(split.baselined)}")
+        for finding in _sorted(split.baselined):
+            lines.append(f"  {finding.render()}")
+    if split.stale:
+        lines.append("")
+        lines.append(
+            "stale baseline entries (fixed or renamed — prune with "
+            "--update-baseline):"
+        )
+        for fp in split.stale:
+            lines.append(f"  {fp}")
+    lines.append("")
+    lines.append(
+        f"analysislint: {checked_files} files, "
+        f"{len(split.new)} new finding(s), "
+        f"{len(split.baselined)} baselined, "
+        f"{len(split.stale)} stale baseline entr(y/ies)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(split: BaselineSplit, checked_files: int) -> str:
+    """Machine-readable report: files scanned, new/baselined/stale."""
+    payload = {
+        "files": checked_files,
+        "new": [f.as_dict() for f in _sorted(split.new)],
+        "baselined": [f.as_dict() for f in _sorted(split.baselined)],
+        "stale_baseline": split.stale,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

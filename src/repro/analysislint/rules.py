@@ -1,0 +1,98 @@
+"""Rule framework: the base class and the rule catalogue.
+
+A rule is a stateless object with a stable ``id``, a one-line
+``title``, an optional waiver ``shorthand`` (the bare token accepted in
+a ``# lint:`` comment in place of ``waive=<id>``), and a ``check``
+method that maps a :class:`~repro.analysislint.core.SourceTree` to
+findings.  Rules receive the whole tree — cross-file rules (the
+registry) and single-file rules (everything else) use the same shape.
+
+:func:`all_rules` builds the ordered catalogue the runner executes;
+order is cosmetic (findings are re-sorted by location) but kept stable
+for predictable reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.analysislint.core import Finding, SourceTree
+
+#: Simulated-machine packages: everything the main loop executes.
+SIM_PACKAGES: Set[str] = {
+    "controller",
+    "dram",
+    "cpu",
+    "cache",
+    "prefetch",
+    "system",
+}
+
+#: Hot-path packages for the hygiene rule (per-tick object traffic).
+HOT_PACKAGES: Set[str] = {"controller", "dram", "prefetch"}
+
+#: Modules allowlisted for wall-clock use: the tracer self-measures its
+#: overhead and the perf harness times the host — both legitimate.
+WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py")
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    id: str = ""
+    title: str = ""
+    shorthand: str = ""  # bare waiver token ('' = waive=<id> only)
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        raise NotImplementedError
+
+    def waiver_hint(self) -> str:
+        return self.shorthand or f"waive={self.id}"
+
+    def finding(self, path: str, line: int, message: str, symbol: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=line,
+            message=message,
+            symbol=symbol,
+            waiver_hint=self.waiver_hint(),
+        )
+
+
+def all_rules() -> Sequence[Rule]:
+    """Fresh instances of the full catalogue (import-cycle free)."""
+    from repro.analysislint.cycles import CycleAccountingRule
+    from repro.analysislint.determinism import (
+        SetIterationRule,
+        UnseededRandomRule,
+        UrandomRule,
+        WallClockRule,
+    )
+    from repro.analysislint.hygiene import HotPathDatetimeRule, SlotsRule
+    from repro.analysislint.parity import EventParityRule, StatsParityRule
+    from repro.analysislint.registry import (
+        DynamicKeyRule,
+        RegistryRule,
+        UnwrittenReadRule,
+    )
+
+    return (
+        WallClockRule(),
+        UnseededRandomRule(),
+        UrandomRule(),
+        SetIterationRule(),
+        StatsParityRule(),
+        EventParityRule(),
+        CycleAccountingRule(),
+        RegistryRule(),
+        DynamicKeyRule(),
+        UnwrittenReadRule(),
+        SlotsRule(),
+        HotPathDatetimeRule(),
+    )
+
+
+def rule_titles() -> dict:
+    """rule id -> title, for reporters and docs checks."""
+    return {rule.id: rule.title for rule in all_rules()}

@@ -1,0 +1,152 @@
+"""Orchestration: scan -> rules -> baseline -> report -> exit code.
+
+This is the engine behind both front doors (``tools/lint.py`` and
+``repro lint``).  ``run_lint`` is also the API the unit tests use, so
+the CLI layers stay trivially thin.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.analysislint.baseline import (
+    DEFAULT_BASELINE,
+    BaselineSplit,
+    load_baseline,
+    save_baseline,
+    split_against_baseline,
+)
+from repro.analysislint.core import Finding, SourceTree, load_tree
+from repro.analysislint.registry import write_registry
+from repro.analysislint.report import render_json, render_text
+from repro.analysislint.rules import Rule, all_rules
+
+
+def find_repo_root(start: Optional[str] = None) -> str:
+    """Nearest ancestor holding ``src/repro`` (fallback: cwd)."""
+    path = os.path.abspath(start or os.getcwd())
+    while True:
+        if os.path.isdir(os.path.join(path, "src", "repro")):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.path.abspath(start or os.getcwd())
+        path = parent
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    tree: SourceTree
+    findings: List[Finding] = field(default_factory=list)
+    split: BaselineSplit = field(default_factory=BaselineSplit)
+
+    @property
+    def checked_files(self) -> int:
+        return len(self.tree.files)
+
+    @property
+    def ok(self) -> bool:
+        """No *new* findings (baselined ones are tolerated)."""
+        return not self.split.new
+
+    def render(self, as_json: bool = False) -> str:
+        if as_json:
+            return render_json(self.split, self.checked_files)
+        return render_text(self.split, self.checked_files)
+
+
+def run_lint(
+    root: Optional[str] = None,
+    paths: Optional[Iterable[str]] = None,
+    rules: Optional[Iterable[Rule]] = None,
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Run the full pass and partition findings against the baseline.
+
+    ``paths`` defaults to ``<root>/src/repro``; narrowing it narrows
+    every per-file rule but the registry rule always compares against
+    the committed registry, so partial scans of files that define
+    counters will report registry drift — run on the full tree for
+    authoritative results.
+    """
+    root = find_repo_root(root)
+    tree = load_tree(root, list(paths) if paths else None)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        findings.extend(rule.check(tree))
+    baseline_file = baseline_path or os.path.join(root, DEFAULT_BASELINE)
+    if update_baseline:
+        save_baseline(baseline_file, findings)
+    split = split_against_baseline(findings, load_baseline(baseline_file))
+    return LintResult(tree=tree, findings=findings, split=split)
+
+
+def regenerate_registry(root: Optional[str] = None) -> str:
+    """Rewrite ``repro/common/stat_keys.py`` from a fresh scan."""
+    root = find_repo_root(root)
+    tree = load_tree(root)
+    return write_registry(tree, root)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Shared CLI entry point (tools/lint.py and ``repro lint``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lint",
+        description=(
+            "simulator-invariant static analysis (determinism, dual-path "
+            "parity, cycle accounting, stat-key registry, hot-path "
+            "hygiene) — see docs/linting.md"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on any new (non-baselined) finding",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report")
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default {DEFAULT_BASELINE} at the repo root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--write-registry",
+        action="store_true",
+        help="regenerate repro/common/stat_keys.py and exit",
+    )
+    args = parser.parse_args(argv)
+
+    root = find_repo_root()
+    if args.write_registry:
+        path = write_registry(load_tree(root), root)
+        print(f"wrote {os.path.relpath(path, root)}")
+        return 0
+
+    result = run_lint(
+        root=root,
+        paths=args.paths or None,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    print(result.render(as_json=args.json))
+    if args.check and not result.ok:
+        return 1
+    return 0

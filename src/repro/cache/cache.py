@@ -11,9 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.cache.replacement import (
+    LRUPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+)
 from repro.common.config import CacheConfig
 from repro.common.stats import Stats
-from repro.cache.replacement import LRUPolicy, ReplacementPolicy, TreePLRUPolicy
 
 
 @dataclass(frozen=True, slots=True)

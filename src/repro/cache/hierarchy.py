@@ -17,9 +17,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.cache.cache import Cache
 from repro.common.config import HierarchyConfig
 from repro.common.stats import Stats
-from repro.cache.cache import Cache
 
 
 class Level(enum.Enum):

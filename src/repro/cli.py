@@ -13,6 +13,9 @@ Commands:
 * ``cost``      — the hardware-cost table (Section 5.1)
 * ``telemetry`` — run one benchmark with full instrumentation and
   export/print the epoch-resolved series (see docs/telemetry.md)
+* ``lint``      — simulator-invariant static analysis (determinism,
+  dual-path parity, cycle accounting, stat-key registry, hot-path
+  hygiene; see docs/linting.md)
 
 ``run`` and ``compare`` accept ``--trace-events PATH`` (JSONL event
 log) and ``--probe-interval N`` (sample epoch series every N epochs);
@@ -30,7 +33,7 @@ from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
-from repro.workloads.profiles import BENCHMARKS, SUITES, get_profile
+from repro.workloads.profiles import SUITES, get_profile
 from repro.workloads.synthetic import generate_trace
 
 #: figure/table id -> (module, entry function, render function) names
@@ -151,6 +154,21 @@ def _build_parser() -> argparse.ArgumentParser:
     tel.add_argument("--rows", type=int, default=20,
                      help="epoch-report rows to print (default 20)")
     common(tel)
+
+    lint = sub.add_parser(
+        "lint", help="simulator-invariant static analysis (docs/linting.md)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to scan (default: src/repro)")
+    lint.add_argument("--check", action="store_true",
+                      help="exit nonzero on any new (non-baselined) finding")
+    lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="baseline file (default .lint-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="grandfather every current finding")
+    lint.add_argument("--write-registry", action="store_true",
+                      help="regenerate repro/common/stat_keys.py and exit")
 
     return parser
 
@@ -300,7 +318,7 @@ def _cmd_suite(args) -> int:
 def _cmd_sweep(args) -> int:
     import os
 
-    from repro.experiments import runner, sweep
+    from repro.experiments import sweep
 
     if args.benchmarks:
         benchmarks = list(args.benchmarks)
@@ -415,6 +433,18 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysislint import runner as lint_runner
+
+    forwarded: List[str] = list(args.paths)
+    for flag in ("check", "json", "update_baseline", "write_registry"):
+        if getattr(args, flag):
+            forwarded.append("--" + flag.replace("_", "-"))
+    if args.baseline is not None:
+        forwarded.extend(["--baseline", args.baseline])
+    return lint_runner.main(forwarded)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     args = _build_parser().parse_args(argv)
@@ -428,6 +458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": lambda: _cmd_trace(args),
         "cost": lambda: _cmd_cost(args),
         "telemetry": lambda: _cmd_telemetry(args),
+        "lint": lambda: _cmd_lint(args),
     }
     return handlers[args.command]()
 

@@ -6,6 +6,7 @@ through queues, configuration dataclasses in :mod:`repro.common.config`,
 and the :class:`~repro.common.stats.Stats` counter bag.
 """
 
+from repro.common.stats import Stats
 from repro.common.types import (
     LINE_SIZE,
     CommandKind,
@@ -13,7 +14,6 @@ from repro.common.types import (
     MemoryCommand,
     Provenance,
 )
-from repro.common.stats import Stats
 
 __all__ = [
     "LINE_SIZE",

@@ -14,21 +14,43 @@ Two accounting conventions used by the simulator's hot loops:
   average conditioned on executed cycles.
 * **Hot-path batching**: blocks that bump several counters per cycle
   may hold on to :meth:`Stats.raw` and add into the mapping directly;
-  the mapping is a ``defaultdict`` so missing keys behave exactly like
-  :meth:`bump`.
+  missing keys read as 0.0 there too, so ``values["k"] += 1`` behaves
+  exactly like :meth:`bump`.
+
+Membership contract (pinned by tests): a key is ``in`` a ``Stats``
+exactly when something *wrote* it — ``bump``/``set``/``merge`` or an
+add through :meth:`raw`.  Reads never materialize: ``stats["missing"]``
+and ``stats.raw()["missing"]`` both return 0 and leave ``len``,
+iteration, and ``in`` unchanged.  (The old ``defaultdict`` backing
+broke this: any read through ``raw()`` inserted the key, so ``in`` and
+``len`` depended on who had *looked*.)
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Mapping, Tuple
+
+
+class _CounterMap(dict):
+    """Dict whose missing keys read as 0.0 without materializing.
+
+    Unlike ``defaultdict(float)``, ``__missing__`` does **not** insert
+    the key — so hot-path augmented adds (``d[k] += 1`` = read 0.0,
+    add, store) work unchanged, while plain reads stay side-effect
+    free.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, key: str) -> float:
+        return 0.0
 
 
 class Stats:
     """String-keyed numeric accumulator with namespacing support."""
 
     def __init__(self) -> None:
-        self._values: Dict[str, float] = defaultdict(float)
+        self._values: Dict[str, float] = _CounterMap()
 
     def bump(self, key: str, amount: float = 1) -> None:
         """Add ``amount`` (default 1) to counter ``key``."""
@@ -41,16 +63,19 @@ class Stats:
     def raw(self) -> Dict[str, float]:
         """The live underlying mapping, for hot-path batched updates.
 
-        Adding into the returned ``defaultdict`` is equivalent to
-        :meth:`bump` but skips a method call per counter; callers must
-        only ever *add* through it.
+        Adding into the returned mapping is equivalent to :meth:`bump`
+        but skips a method call per counter.  Missing keys read as 0.0
+        *without* being inserted, so reads through this mapping never
+        change membership (``in``/``len``/iteration) — callers may
+        freely mix batched adds and probes.
         """
         return self._values
 
     def __getitem__(self, key: str) -> float:
-        return self._values.get(key, 0)
+        return self._values[key]
 
     def __contains__(self, key: str) -> bool:
+        """True exactly when ``key`` has been written (never by reads)."""
         return key in self._values
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:

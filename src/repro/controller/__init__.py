@@ -8,8 +8,8 @@ Low Priority Queue under the active Adaptive Scheduling policy and
 issues to DRAM.
 """
 
-from repro.controller.queues import CommandQueue, ReorderQueues
 from repro.controller.controller import MemoryController
+from repro.controller.queues import CommandQueue, ReorderQueues
 from repro.controller.schedulers import build_scheduler
 
 __all__ = [

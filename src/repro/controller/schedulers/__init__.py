@@ -6,10 +6,10 @@ CAQ each cycle; better schedulers extract more DRAM bandwidth, which in
 turn raises the headroom the prefetcher can exploit.
 """
 
+from repro.controller.schedulers.ahb import AHBScheduler
 from repro.controller.schedulers.base import Scheduler
 from repro.controller.schedulers.in_order import InOrderScheduler
 from repro.controller.schedulers.memoryless import MemorylessScheduler
-from repro.controller.schedulers.ahb import AHBScheduler
 
 
 def build_scheduler(name: str) -> Scheduler:

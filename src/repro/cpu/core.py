@@ -18,10 +18,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.cache.hierarchy import CacheHierarchy, Level
 from repro.common.config import CoreConfig
 from repro.common.stats import Stats
 from repro.common.types import CommandKind, MemoryCommand, Provenance
-from repro.cache.hierarchy import CacheHierarchy, Level
 from repro.controller.controller import MemoryController
 from repro.prefetch.processor_side import ProcessorSidePrefetcher
 from repro.telemetry.events import PrefetchDiscard

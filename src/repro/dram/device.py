@@ -20,7 +20,7 @@ from repro.telemetry.events import DramCommand
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddressMap:
     """Line address -> (bank index, row) mapping.
 

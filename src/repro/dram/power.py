@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.common.config import DRAMConfig, DRAMPowerConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class PowerReport:
     """Summary produced at the end of a run."""
 

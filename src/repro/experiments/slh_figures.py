@@ -12,16 +12,16 @@ for the same epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.slh_accuracy import exact_slh, slh_rms_error
 from repro.cache.hierarchy import CacheHierarchy, Level
 from repro.common.config import SLHConfig, StreamFilterConfig, SystemConfig
 from repro.common.types import Direction
+from repro.experiments.runner import default_accesses, get_trace
 from repro.prefetch.slh import LikelihoodTables, slh_bars
 from repro.prefetch.stream_filter import StreamFilter
-from repro.experiments.runner import default_accesses, get_trace
 from repro.workloads.trace import Trace
 
 

@@ -17,13 +17,16 @@
   stream prefetcher (the paper's PS configuration).
 """
 
+from repro.prefetch.adaptive_scheduling import (
+    AdaptiveScheduler,
+    SchedulerView,
+)
+from repro.prefetch.lpq import LowPriorityQueue
+from repro.prefetch.memory_side import MemorySidePrefetcher
+from repro.prefetch.prefetch_buffer import PrefetchBuffer
+from repro.prefetch.processor_side import ProcessorSidePrefetcher, PSRequest
 from repro.prefetch.slh import LikelihoodTables, slh_bars
 from repro.prefetch.stream_filter import StreamFilter, StreamObservation
-from repro.prefetch.prefetch_buffer import PrefetchBuffer
-from repro.prefetch.lpq import LowPriorityQueue
-from repro.prefetch.adaptive_scheduling import AdaptiveScheduler, SchedulerView
-from repro.prefetch.memory_side import MemorySidePrefetcher
-from repro.prefetch.processor_side import ProcessorSidePrefetcher, PSRequest
 
 __all__ = [
     "AdaptiveScheduler",

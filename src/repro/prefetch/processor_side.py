@@ -24,7 +24,7 @@ from repro.common.config import ProcessorSidePrefetcherConfig
 from repro.common.stats import Stats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PSRequest:
     """One processor-side prefetch request.
 

@@ -31,12 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from repro.common.config import (
-    AdaptiveSchedulingConfig,
-    MemorySidePrefetcherConfig,
-    ProcessorSidePrefetcherConfig,
-    SystemConfig,
-)
+from repro.common.config import SystemConfig
 
 #: The paper's four primary configurations.
 CONFIG_NAMES = ("NP", "PS", "MS", "PMS")

@@ -25,11 +25,11 @@ Two main-loop modes produce field-for-field identical
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import SystemConfig
 from repro.common.stats import Stats
-from repro.cache.hierarchy import CacheHierarchy
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core
 from repro.dram.device import DRAMDevice
@@ -213,7 +213,8 @@ class System:
     # ------------------------------------------------------------------
     # event-driven fast-forward
     # ------------------------------------------------------------------
-    def _deterministic_wait(self, max_cycles: int) -> Tuple[int, object]:
+    def _deterministic_wait(self, max_cycles: int) -> Tuple[int, object]:  # lint: no-integral
+        # (pure query: shadows `now` locally, never advances the clock)
         """How many upcoming cycles are provably inert, if any.
 
         A cycle is *inert* when ticking through it would only advance

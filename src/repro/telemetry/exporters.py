@@ -161,7 +161,8 @@ def epoch_report(probes: EpochProbes, max_rows: int = 40) -> str:
     }
     rows = []
     for epoch in shown:
-        get = lambda key: columns[key].get(epoch, 0)
+        def get(key):
+            return columns[key].get(epoch, 0)
         rows.append(
             [
                 epoch,

@@ -16,7 +16,7 @@ of probe data directly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.common.stats import Stats
 from repro.telemetry.events import EpochBoundary, TraceEvent
@@ -97,7 +97,8 @@ class EpochProbes:
         system = self._system
         epoch = event.epoch
         self.samples_taken += 1
-        rec = lambda name, value: self._series(name).record(epoch, value)
+        def rec(name, value):
+            self._series(name).record(epoch, value)
 
         deltas = {
             k: s.snapshot_delta(self._prev[k])

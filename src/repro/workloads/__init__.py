@@ -8,8 +8,6 @@ mixture, direction mix, interleaving, arrival density, read/write mix —
 are controlled per benchmark (see DESIGN.md, substitution table).
 """
 
-from repro.workloads.trace import Trace, TraceRecord
-from repro.workloads.synthetic import StreamWorkload, WorkloadPhase, generate_trace
 from repro.workloads.profiles import (
     BENCHMARKS,
     FOCUS_BENCHMARKS,
@@ -18,6 +16,12 @@ from repro.workloads.profiles import (
     get_profile,
     suite_benchmarks,
 )
+from repro.workloads.synthetic import (
+    StreamWorkload,
+    WorkloadPhase,
+    generate_trace,
+)
+from repro.workloads.trace import Trace, TraceRecord
 
 __all__ = [
     "BENCHMARKS",

@@ -9,20 +9,20 @@ import pytest
 from repro.experiments import runner
 from repro.experiments.ablation import fig11_ablation
 from repro.experiments.efficiency import fig13_efficiency
+from repro.experiments.extensions import asd_only, degree_sweep
 from repro.experiments.hardware_cost import tab_hardware_cost
 from repro.experiments.performance import performance_figure
 from repro.experiments.power import power_figure
 from repro.experiments.scheduler_interaction import tab_scheduler_interaction
 from repro.experiments.sensitivity import fig14_buffer_size, fig15_filter_size
 from repro.experiments.slh_figures import (
+    fig16_slh_accuracy,
     fig2_slh_example,
     fig3_slh_phases,
-    fig16_slh_accuracy,
     mc_read_stream,
 )
 from repro.experiments.smt import tab_smt
 from repro.experiments.stream_lengths import fig12_stream_lengths
-from repro.experiments.extensions import asd_only, degree_sweep
 
 SMALL = 2500
 BENCHES = ("GemsFDTD", "tpcc")

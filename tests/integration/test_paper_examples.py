@@ -10,7 +10,7 @@ prefetch".
 
 import pytest
 
-from repro import Trace, make_config, simulate
+from repro import make_config, simulate
 from repro.workloads.synthetic import StreamWorkload, generate_trace
 
 

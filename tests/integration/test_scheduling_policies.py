@@ -5,7 +5,6 @@ each policy in a live controller produces the expected *issue-order*
 behaviour between demand reads and prefetches.
 """
 
-from dataclasses import replace
 
 import pytest
 

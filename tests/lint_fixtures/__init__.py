@@ -1,0 +1,8 @@
+"""Seeded-violation fixture modules for the analysislint unit tests.
+
+Each module here is *deliberately wrong* in exactly the ways one rule
+family must catch.  Tests load them as text and mount them at virtual
+``src/repro/...`` paths (see ``tests/unit/test_analysislint_*.py``), so
+nothing in this package is ever imported by the simulator — but every
+file stays syntactically valid Python so tooling can parse it.
+"""

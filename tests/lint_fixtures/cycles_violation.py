@@ -1,0 +1,26 @@
+"""Cycle-accounting violations and accepted patterns for CYC001."""
+
+
+class DriftingClock:
+    def __init__(self, stats, controller):
+        self.stats = stats
+        self.controller = controller
+        self.now = 0
+
+    def skip_ahead(self, span):
+        self.now += span  # CYC001: advances the clock, no integral, no tick call
+
+    def fast_forward(self, span):
+        self.now += span
+        values = self.stats.raw()
+        values["ticks"] += span
+        values["occ_read_queue"] += span * 2  # accounted: integrals kept current
+
+    def delegated_forward(self, span):
+        controller_tick = self.controller.bulk_tick
+        self.now += span
+        controller_tick(span)  # accounted: delegates to a bulk accounting method
+
+    def peek_ahead(self, span):  # lint: no-integral
+        now = self.now + span
+        return now

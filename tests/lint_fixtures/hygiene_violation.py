@@ -1,0 +1,29 @@
+"""Hot-path hygiene violations for HYG001/HYG002."""
+
+import datetime
+from dataclasses import dataclass
+
+
+@dataclass
+class LooseRecord:  # HYG001: hot-path dataclass without slots
+    addr: int
+    cycle: int
+
+
+@dataclass(frozen=True, slots=True)
+class TightRecord:  # ok: slots declared
+    addr: int
+    cycle: int
+
+
+@dataclass
+class WaivedRecord:  # lint: no-slots
+    addr: int
+
+
+class StampingBlock:
+    def __init__(self):
+        self.stamp = None
+
+    def tick(self, now):
+        self.stamp = datetime.datetime.now()  # HYG002: wall clock in per-tick code

@@ -1,0 +1,34 @@
+"""Dual-path pair that the parity rules must accept.
+
+Exercises the equivalences the rules are expected to see through:
+
+* ``bump`` on one path vs a batched ``raw()`` add on the other;
+* an event emitted directly on one path but via a shared ``self._note``
+  helper on the other (one-level self-call expansion).
+"""
+
+
+class RetireEvent:
+    def __init__(self, now):
+        self.now = now
+
+
+class BalancedController:
+    def __init__(self, stats, tracer):
+        self.stats = stats
+        self.tracer = tracer
+        self._stat_values = self.stats.raw()
+
+    def _note(self, now):
+        self.tracer.emit(RetireEvent(now))
+        self.stats.bump("noted")
+
+    def tick(self, now):
+        values = self._stat_values
+        values["issued"] += 1
+        self._note(now)
+
+    def tick_reference(self, now):
+        self.stats.bump("issued")
+        self.stats.bump("noted")
+        self.tracer.emit(RetireEvent(now))

@@ -1,10 +1,10 @@
 """Property-based tests for the cache and Prefetch Buffer."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.config import CacheConfig, PrefetchBufferConfig
 from repro.cache.cache import Cache
+from repro.common.config import CacheConfig, PrefetchBufferConfig
 from repro.prefetch.prefetch_buffer import PrefetchBuffer
 
 lines = st.integers(min_value=0, max_value=63)
@@ -16,7 +16,6 @@ ops = st.lists(
 
 def run_cache(operations, size=1024, assoc=2):
     cache = Cache(CacheConfig(size, assoc, latency=1))
-    model = {}  # line -> dirty (reference model without capacity)
     for op, line in operations:
         if op == "fill":
             cache.fill(line)

@@ -41,7 +41,6 @@ def replay(spec):
 def test_completions_after_issue(spec):
     _, completions = replay(spec)
     t = DRAMTimingConfig()
-    min_latency = t.t_cl + t.burst_cycles  # best case: row hit, idle bus
     for _, issued_at, completed_at in completions:
         assert completed_at >= issued_at + min(t.t_wl, t.t_cl) + t.burst_cycles
 

@@ -58,9 +58,9 @@ def test_bar_reconstruction(stream_lengths):
         return
     bars = slh_bars(t.next, t.lm)
     for i in range(1, t.lm):
-        expected = sum(l for l in stream_lengths if l == i)
+        expected = sum(n for n in stream_lengths if n == i)
         assert abs(bars[i] * total - expected) < 1e-6
-    tail = sum(l for l in stream_lengths if l >= t.lm)
+    tail = sum(n for n in stream_lengths if n >= t.lm)
     assert abs(bars[t.lm] * total - tail) < 1e-6
 
 

@@ -1,6 +1,6 @@
 """Property-based tests for trace manipulation and persistence."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.workloads.trace import Trace

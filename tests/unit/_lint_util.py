@@ -1,0 +1,45 @@
+"""Shared plumbing for the analysislint test modules.
+
+Fixture modules live in ``tests/lint_fixtures/`` as real files (so they
+stay syntax-checked and readable), but the rules scope themselves to
+``src/repro/<package>/`` paths — so tests *mount* fixture text at a
+virtual relpath inside the simulated-machine packages.
+"""
+
+import functools
+import os
+
+from repro.analysislint.core import SourceFile, SourceTree, load_tree
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def fixture_text(name):
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def mount(*specs, root=None):
+    """SourceTree from (fixture_filename, virtual_relpath) pairs."""
+    tree = SourceTree(root=root or REPO_ROOT)
+    for name, relpath in specs:
+        tree.files.append(
+            SourceFile(os.path.join(FIXTURES, name), relpath, fixture_text(name))
+        )
+    return tree
+
+
+def mount_text(text, relpath, root=None):
+    """SourceTree holding one in-line module at a virtual relpath."""
+    tree = SourceTree(root=root or REPO_ROOT)
+    tree.files.append(SourceFile(relpath, relpath, text))
+    return tree
+
+
+@functools.lru_cache(maxsize=1)
+def real_tree():
+    """The actual ``src/repro`` tree, parsed once per test session."""
+    return load_tree(REPO_ROOT)

@@ -1,6 +1,5 @@
 """Unit tests for Adaptive Scheduling (the five policies + adaptation)."""
 
-import pytest
 
 from repro.common.config import AdaptiveSchedulingConfig
 from repro.prefetch.adaptive_scheduling import (

@@ -1,6 +1,5 @@
 """Deeper unit tests for the AHB scheduler's history behaviour."""
 
-import pytest
 
 from repro.common.config import DRAMConfig
 from repro.common.types import CommandKind, MemoryCommand

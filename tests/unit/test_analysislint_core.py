@@ -1,0 +1,136 @@
+"""Walker core, waivers/pragmas, baseline, and reporters."""
+
+import json
+import textwrap
+
+from repro.analysislint.baseline import (
+    load_baseline,
+    save_baseline,
+    split_against_baseline,
+)
+from repro.analysislint.core import Finding, SourceFile
+from repro.analysislint.report import render_json, render_text
+from repro.analysislint.rules import all_rules, rule_titles
+from tests.unit._lint_util import REPO_ROOT, real_tree
+
+
+def _sf(text):
+    return SourceFile("mod.py", "src/repro/controller/mod.py", textwrap.dedent(text))
+
+
+class TestWaivers:
+    def test_bare_shorthand_and_waive_form(self):
+        sf = _sf(
+            """\
+            a = 1  # lint: no-integral
+            b = 2  # lint: waive=CYC001
+            c = 3  # unrelated comment
+            """
+        )
+        assert sf.waived(1, "CYC001", "no-integral")
+        assert sf.waived(2, "CYC001", "no-integral")
+        assert not sf.waived(3, "CYC001", "no-integral")
+        # shorthand never leaks across rules, waive= is rule-exact
+        assert not sf.waived(2, "DET001")
+
+    def test_multiline_node_span_is_checked(self):
+        sf = _sf(
+            """\
+            x = compute(
+                1,
+            )  # lint: waive=DET001
+            """
+        )
+        node = sf.tree.body[0]
+        assert sf.waived(node, "DET001")
+
+    def test_pragma_parsing(self):
+        sf = _sf("# lint: stat-prefixes(lat_sum_, lat_cnt_)\n")
+        assert len(sf.pragmas) == 1
+        pragma = sf.pragmas[0]
+        assert pragma.name == "stat-prefixes"
+        assert pragma.args == ("lat_sum_", "lat_cnt_")
+        assert not sf.waivers  # a pragma is not a waiver
+
+    def test_qualname_nesting(self):
+        sf = _sf(
+            """\
+            class Outer:
+                def method(self):
+                    return 1
+            """
+        )
+        func = sf.tree.body[0].body[0]
+        assert sf.qualname(func) == "Outer.method"
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Finding("DET001", "src/repro/x.py", 10, "msg", "Cls.tick")
+        b = Finding("DET001", "src/repro/x.py", 99, "msg", "Cls.tick")
+        assert a.fingerprint() == b.fingerprint()
+        assert a.as_dict()["fingerprint"] == a.fingerprint()
+
+    def test_render_mentions_waiver(self):
+        f = Finding("CYC001", "p.py", 3, "msg", "fn", waiver_hint="no-integral")
+        assert "# lint: no-integral" in f.render()
+
+
+class TestBaseline:
+    def test_round_trip_and_split(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        old = Finding("DET001", "a.py", 1, "old finding", "f")
+        gone = Finding("DET002", "b.py", 2, "since fixed", "g")
+        save_baseline(path, [old, gone])
+        assert set(load_baseline(path)) == {old.fingerprint(), gone.fingerprint()}
+
+        new = Finding("DET003", "c.py", 3, "fresh", "h")
+        split = split_against_baseline([old, new], load_baseline(path))
+        assert split.new == [new]
+        assert split.baselined == [old]
+        assert split.stale == [gone.fingerprint()]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == []
+
+
+class TestReporters:
+    def _split(self):
+        new = Finding("DET001", "a.py", 1, "new one", "f")
+        old = Finding("DET002", "b.py", 2, "old one", "g")
+        return split_against_baseline([new, old], {old.fingerprint(), "ghost"})
+
+    def test_text_report_sections(self):
+        text = render_text(self._split(), checked_files=5)
+        assert "new one" in text
+        assert "old one" in text
+        assert "1 new finding" in text
+
+    def test_json_report_parses(self):
+        data = json.loads(render_json(self._split(), checked_files=5))
+        assert data["files"] == 5
+        assert len(data["new"]) == 1
+        assert data["new"][0]["rule"] == "DET001"
+        assert len(data["baselined"]) == 1
+        assert data["stale_baseline"] == ["ghost"]
+
+
+class TestCatalogue:
+    def test_rule_ids_unique_and_titled(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert len(ids) == len(set(ids))
+        titles = rule_titles()
+        for rule in rules:
+            assert rule.id and titles[rule.id] == rule.title
+
+    def test_load_tree_is_deterministic_and_repo_relative(self):
+        from repro.analysislint.core import load_tree
+
+        tree = real_tree()
+        relpaths = [sf.relpath for sf in tree]
+        # a second scan visits the same files in the same order
+        assert [sf.relpath for sf in load_tree(REPO_ROOT)] == relpaths
+        assert all(not p.startswith("/") for p in relpaths)
+        assert tree.root == REPO_ROOT
+        assert tree.get("src/repro/common/stats.py") is not None

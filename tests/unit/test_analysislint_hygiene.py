@@ -1,0 +1,62 @@
+"""HYG rules: slots on hot-path dataclasses, no datetime in sim code."""
+
+import pytest
+
+from repro.analysislint.hygiene import HotPathDatetimeRule, SlotsRule
+from tests.unit._lint_util import mount, mount_text, real_tree
+
+FIXTURE = ("hygiene_violation.py", "src/repro/prefetch/hygiene_violation.py")
+
+
+@pytest.fixture(scope="module")
+def fixture_tree():
+    return mount(FIXTURE)
+
+
+class TestSlots:
+    def test_bare_dataclass_flagged(self, fixture_tree):
+        findings = SlotsRule().check(fixture_tree)
+        assert [f.symbol for f in findings] == ["LooseRecord"]
+        assert "slots=True" in findings[0].message
+
+    def test_slots_true_passes(self, fixture_tree):
+        findings = SlotsRule().check(fixture_tree)
+        assert not any(f.symbol == "TightRecord" for f in findings)
+
+    def test_no_slots_waiver_passes(self, fixture_tree):
+        findings = SlotsRule().check(fixture_tree)
+        assert not any(f.symbol == "WaivedRecord" for f in findings)
+
+    def test_slots_false_is_still_flagged(self):
+        tree = mount_text(
+            "from dataclasses import dataclass\n"
+            "@dataclass(slots=False)\n"
+            "class R:\n"
+            "    x: int\n",
+            "src/repro/controller/r.py",
+        )
+        assert [f.symbol for f in SlotsRule().check(tree)] == ["R"]
+
+    def test_outside_hot_packages_ignored(self):
+        # cpu is simulated but not hot-path: slots stays a suggestion there
+        tree = mount(("hygiene_violation.py", "src/repro/cpu/records.py"))
+        assert SlotsRule().check(tree) == []
+
+
+class TestDatetime:
+    def test_datetime_now_flagged(self, fixture_tree):
+        findings = HotPathDatetimeRule().check(fixture_tree)
+        assert len(findings) == 1
+        assert findings[0].symbol == "StampingBlock.tick"
+        assert "datetime" in findings[0].message
+
+    def test_outside_sim_packages_ignored(self):
+        tree = mount(("hygiene_violation.py", "src/repro/analysis/stamp.py"))
+        assert HotPathDatetimeRule().check(tree) == []
+
+
+class TestRealTreeClean:
+    @pytest.mark.parametrize("rule_cls", [SlotsRule, HotPathDatetimeRule])
+    def test_simulator_packages_pass(self, rule_cls):
+        findings = rule_cls().check(real_tree())
+        assert findings == [], [f.render() for f in findings]

@@ -1,0 +1,77 @@
+"""PAR rules: divergent fixture flagged, real dual-path classes clean.
+
+The satellite requirement this file pins: a fixture with a deliberately
+divergent ``tick``/``tick_reference`` pair must be flagged, and the real
+``MemoryController`` / ``MemorySidePrefetcher`` pairs must pass.
+"""
+
+import pytest
+
+from repro.analysislint.parity import (
+    EventParityRule,
+    StatsParityRule,
+    _analyses,
+    _class_pairs,
+)
+from tests.unit._lint_util import mount, real_tree
+
+DIVERGENT = ("parity_divergent.py", "src/repro/controller/parity_divergent.py")
+CLEAN = ("parity_clean.py", "src/repro/controller/parity_clean.py")
+
+
+class TestDivergentFixture:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return mount(DIVERGENT)
+
+    def test_stats_divergence_flagged(self, tree):
+        findings = StatsParityRule().check(tree)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.symbol == "SkewedController"
+        assert "only in tick: fast_only_counter" in f.message
+
+    def test_event_divergence_flagged(self, tree):
+        findings = EventParityRule().check(tree)
+        assert len(findings) == 1
+        assert "only in tick_reference: QueueDepthSample" in findings[0].message
+
+
+class TestCleanFixture:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return mount(CLEAN)
+
+    def test_raw_alias_matches_bump(self, tree):
+        """values["k"] += 1 on one path equals stats.bump("k") on the other."""
+        assert StatsParityRule().check(tree) == []
+
+    def test_helper_emit_matches_direct_emit(self, tree):
+        """An emit inside a self._note() helper counts for its caller."""
+        assert EventParityRule().check(tree) == []
+
+    def test_pair_detection_sees_the_class(self, tree):
+        pairs = _class_pairs(tree.files[0])
+        assert [cls.name for cls, _ in pairs] == ["BalancedController"]
+
+
+class TestRealDualPathClasses:
+    def test_known_pairs_are_analyzed(self):
+        """The rule must actually be looking at the real dual-path classes —
+        a clean pass over zero classes would prove nothing."""
+        names = {pa.cls.name for pa in _analyses(real_tree())}
+        assert "MemoryController" in names
+        assert "MemorySidePrefetcher" in names
+
+    def test_memory_controller_and_prefetcher_pass(self):
+        for rule_cls in (StatsParityRule, EventParityRule):
+            findings = rule_cls().check(real_tree())
+            assert findings == [], [f.render() for f in findings]
+
+    def test_real_paths_extract_nonempty_behaviour(self):
+        """Guards against the scan silently extracting nothing and the
+        parity check passing on empty-vs-empty sets."""
+        by_name = {pa.cls.name: pa for pa in _analyses(real_tree())}
+        mc = by_name["MemoryController"]
+        assert mc.keys["tick"], "MemoryController.tick writes no visible keys?"
+        assert mc.keys["tick"] == mc.keys["tick_reference"]

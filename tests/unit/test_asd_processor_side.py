@@ -1,6 +1,5 @@
 """Unit tests for the processor-side ASD prefetcher (future work)."""
 
-from dataclasses import replace
 
 import pytest
 

@@ -1,9 +1,8 @@
 """Unit tests for the set-associative cache."""
 
-import pytest
 
-from repro.common.config import CacheConfig
 from repro.cache.cache import Cache, Eviction
+from repro.common.config import CacheConfig
 
 
 def make_cache(size=1024, assoc=2, line=128):

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.common.config import CacheConfig, HierarchyConfig, CacheConfig
 from repro.cache.cache import Cache
-from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.replacement import LRUPolicy, TreePLRUPolicy
+from repro.common.config import CacheConfig, CacheConfig, HierarchyConfig
 
 
 class TestPolicySelection:
@@ -36,7 +35,6 @@ class TestPLRUBehaviour:
 
     def test_plru_hierarchy_simulates(self):
         from repro import Trace, make_config, simulate
-        from dataclasses import replace
 
         cfg = make_config("PMS")
         hier = HierarchyConfig(
@@ -53,7 +51,6 @@ class TestPLRUBehaviour:
         # on a pure streaming pattern both policies evict cold lines
         lru = Cache(CacheConfig(512, 4, latency=1))
         plru = Cache(CacheConfig(512, 4, latency=1, replacement="tree_plru"))
-        hits_lru = hits_plru = 0
         for line in range(64):
             for cache in (lru, plru):
                 if not cache.lookup(line):

@@ -57,3 +57,27 @@ class TestFigureRegistry:
             assert hasattr(module, func_name)
             if render_name:
                 assert hasattr(module, render_name)
+
+
+class TestLintSubcommand:
+    def test_lint_defaults(self):
+        args = _build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert not args.check
+        assert not args.json
+        assert args.baseline is None
+        assert not args.update_baseline
+        assert not args.write_registry
+
+    def test_lint_full_flag_set(self):
+        args = _build_parser().parse_args(
+            ["lint", "src/repro/controller", "--check", "--json",
+             "--baseline", "custom.json"]
+        )
+        assert args.paths == ["src/repro/controller"]
+        assert args.check and args.json
+        assert args.baseline == "custom.json"
+
+    def test_lint_write_registry(self):
+        args = _build_parser().parse_args(["lint", "--write-registry"])
+        assert args.write_registry

@@ -8,11 +8,9 @@ from repro.common.config import (
     AdaptiveSchedulingConfig,
     CacheConfig,
     ControllerConfig,
-    CoreConfig,
     DRAMConfig,
     DRAMPowerConfig,
     DRAMTimingConfig,
-    HierarchyConfig,
     MemorySidePrefetcherConfig,
     PrefetchBufferConfig,
     ProcessorSidePrefetcherConfig,

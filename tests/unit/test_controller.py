@@ -1,6 +1,5 @@
 """Unit tests for the memory controller."""
 
-import pytest
 
 from repro.common.config import (
     ControllerConfig,

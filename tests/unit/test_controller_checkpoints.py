@@ -1,7 +1,6 @@
 """Unit tests for the two Prefetch Buffer check points and conflict
 accounting in the controller."""
 
-import pytest
 
 from repro.common.config import (
     ControllerConfig,

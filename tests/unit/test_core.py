@@ -1,17 +1,16 @@
 """Unit tests for the trace-driven core model."""
 
-import pytest
 
+from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import (
+    CacheConfig,
     ControllerConfig,
     CoreConfig,
     DRAMConfig,
     HierarchyConfig,
-    CacheConfig,
     MemorySidePrefetcherConfig,
     ProcessorSidePrefetcherConfig,
 )
-from repro.cache.hierarchy import CacheHierarchy
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core
 from repro.dram.device import DRAMDevice

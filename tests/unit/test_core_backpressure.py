@@ -1,7 +1,7 @@
 """Unit tests for core behaviour under controller back-pressure."""
 
-import pytest
 
+from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import (
     CacheConfig,
     ControllerConfig,
@@ -11,7 +11,6 @@ from repro.common.config import (
     MemorySidePrefetcherConfig,
     ProcessorSidePrefetcherConfig,
 )
-from repro.cache.hierarchy import CacheHierarchy
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core
 from repro.dram.device import DRAMDevice

@@ -1,6 +1,5 @@
 """Unit tests for refresh staggering and lazy catch-up in the device."""
 
-import pytest
 
 from repro.common.config import DRAMConfig, DRAMTimingConfig
 from repro.common.types import CommandKind, MemoryCommand
@@ -39,7 +38,7 @@ class TestLazyCatchup:
 
     def test_refresh_closes_open_rows(self):
         dev = make(ranks=1, t_refi=400)
-        first = dev.try_issue(read(0), 0)
+        dev.try_issue(read(0), 0)
         # a later access to the same row, after a refresh, re-activates
         second_time = 500
         dev.try_issue(read(0), second_time)

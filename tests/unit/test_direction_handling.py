@@ -4,12 +4,10 @@ Descending streams exercise the second Likelihood Table pair and the
 negative-step prefetch addresses — a classic source of sign bugs.
 """
 
-import pytest
 
 from repro.common.config import MemorySidePrefetcherConfig, SLHConfig
-from repro.common.types import CommandKind, Direction, MemoryCommand
+from repro.common.types import Direction
 from repro.prefetch.engines import ASDEngine
-from repro.prefetch.memory_side import MemorySidePrefetcher
 
 
 def engine(epoch=60):

@@ -1,6 +1,5 @@
 """Unit tests for the DRAM bank and device models."""
 
-import pytest
 
 from repro.common.config import DRAMConfig, DRAMTimingConfig
 from repro.common.types import CommandKind, MemoryCommand, Provenance

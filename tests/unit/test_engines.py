@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.common.config import MemorySidePrefetcherConfig, SLHConfig
 from repro.common.types import Direction

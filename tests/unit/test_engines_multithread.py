@@ -5,9 +5,7 @@ being replicated per hardware thread — one thread's streams must never
 train or pollute another thread's tables.
 """
 
-from dataclasses import replace
 
-import pytest
 
 from repro.common.config import MemorySidePrefetcherConfig, SLHConfig
 from repro.common.types import CommandKind, MemoryCommand

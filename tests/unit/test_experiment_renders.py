@@ -1,6 +1,5 @@
 """Unit tests for the experiment render functions (table formatting)."""
 
-import pytest
 
 from repro.analysis.metrics import ConfigComparison, SuiteResult
 from repro.experiments.ablation import AblationFigure

@@ -7,6 +7,7 @@ per-cycle and consuming the wait in bulk must leave two identical
 cores in identical states.
 """
 
+from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import (
     CacheConfig,
     ControllerConfig,
@@ -16,7 +17,6 @@ from repro.common.config import (
     MemorySidePrefetcherConfig,
     ProcessorSidePrefetcherConfig,
 )
-from repro.cache.hierarchy import CacheHierarchy
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core
 from repro.dram.device import DRAMDevice

@@ -1,6 +1,5 @@
 """Edge-case tests for report formatting and bar helpers."""
 
-import pytest
 
 from repro.analysis.report import format_bar_chart, format_table
 

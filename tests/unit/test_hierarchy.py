@@ -1,9 +1,8 @@
 """Unit tests for the three-level cache hierarchy."""
 
-import pytest
 
-from repro.common.config import CacheConfig, HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy, Level
+from repro.common.config import CacheConfig, HierarchyConfig
 
 
 def tiny_hierarchy():

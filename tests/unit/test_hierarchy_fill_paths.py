@@ -1,9 +1,8 @@
 """Unit tests for hierarchy fill destinations and promotion paths."""
 
-import pytest
 
-from repro.common.config import CacheConfig, HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy, Level
+from repro.common.config import CacheConfig, HierarchyConfig
 
 
 def hierarchy():

@@ -1,6 +1,5 @@
 """Additional scheduler tests: strict arrival order and write handling."""
 
-import pytest
 
 from repro.common.config import DRAMConfig
 from repro.common.types import CommandKind, MemoryCommand

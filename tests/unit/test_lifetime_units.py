@@ -5,9 +5,7 @@ paper's processor-cycle mechanism (see DESIGN.md deviation 1).  Both
 clocks must drive the same eviction semantics.
 """
 
-from dataclasses import replace
 
-import pytest
 
 from repro.common.config import MemorySidePrefetcherConfig, StreamFilterConfig
 from repro.prefetch.engines import ASDEngine

@@ -1,6 +1,5 @@
 """Unit tests for the assembled memory-side prefetcher."""
 
-from dataclasses import replace
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the Power5-style processor-side prefetcher."""
 
-import pytest
 
 from repro.common.config import ProcessorSidePrefetcherConfig
 from repro.prefetch.processor_side import ProcessorSidePrefetcher

@@ -1,6 +1,5 @@
 """Unit tests for replacement policies."""
 
-import pytest
 
 from repro.cache.replacement import LRUPolicy, TreePLRUPolicy
 

@@ -79,8 +79,6 @@ class TestAHB:
         result = dev.try_issue(first, 0)
         sched.notify_issue(first, dev)
         now = result.completion + 1
-        same_bank = read(first.line + 4, arrival=0)  # same bank, row hit
-        other_bank = read(first.line + 1, arrival=0)
         # row hit outweighs bank history; make both row-empty instead
         cands = [
             read(first.line + 400, arrival=0),  # same bank, new row

@@ -25,12 +25,12 @@ def tables_from_population(lengths, lm=16):
 def read_mass_exactly(lengths, k, lm=16):
     """Reads belonging to streams of exactly length k (k=lm: >= lm)."""
     if k == lm:
-        return sum(l for l in lengths if l >= lm)
-    return sum(l for l in lengths if l == k)
+        return sum(n for n in lengths if n >= lm)
+    return sum(n for n in lengths if n == k)
 
 
 def read_mass_longer(lengths, k):
-    return sum(l for l in lengths if l > k)
+    return sum(n for n in lengths if n > k)
 
 
 class TestProbabilityEquivalence:

@@ -32,7 +32,7 @@ class TestMCReadStream:
 
     def test_order_preserved(self):
         lines = [10, 500, 20, 600, 30]
-        trace = Trace([(0, l, False) for l in lines])
+        trace = Trace([(0, line, False) for line in lines])
         assert mc_read_stream(trace, tiny_config()) == lines
 
 

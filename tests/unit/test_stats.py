@@ -117,3 +117,50 @@ class TestTotal:
 
     def test_total_empty_prefix_match(self):
         assert Stats().total("none_") == 0
+
+
+class TestMembershipContract:
+    """A key is ``in`` a Stats exactly when something wrote it.
+
+    The old ``defaultdict(float)`` backing materialized keys on *reads*
+    through ``raw()``, so ``in``/``len`` depended on who had looked.
+    These tests pin the fixed contract.
+    """
+
+    def test_getitem_read_does_not_materialize(self):
+        s = Stats()
+        assert s["missing"] == 0
+        assert "missing" not in s
+        assert len(s) == 0
+
+    def test_raw_read_does_not_materialize(self):
+        s = Stats()
+        values = s.raw()
+        assert values["missing"] == 0.0
+        assert "missing" not in s
+        assert "missing" not in values
+        assert len(s) == 0
+        assert list(s) == []
+
+    def test_raw_augmented_add_still_writes(self):
+        s = Stats()
+        values = s.raw()
+        values["hits"] += 1  # read-0, add, store — same as bump
+        values["hits"] += 2
+        assert "hits" in s
+        assert s["hits"] == 3
+        assert len(s) == 1
+
+    def test_mixed_probes_and_writes(self):
+        s = Stats()
+        values = s.raw()
+        s.bump("written")
+        assert values["probed"] == 0.0  # probe between writes
+        s.bump("written")
+        assert sorted(k for k, _ in s) == ["written"]
+        assert s.as_dict() == {"written": 2}
+
+    def test_ratio_of_unwritten_keys_does_not_materialize(self):
+        s = Stats()
+        assert s.ratio("a", "b") == 0.0
+        assert len(s) == 0

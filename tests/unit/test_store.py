@@ -1,6 +1,5 @@
 """Unit tests for the content-addressed on-disk result store."""
 
-import dataclasses
 import json
 import os
 

@@ -1,6 +1,5 @@
 """Unit tests for the Stream Filter."""
 
-import pytest
 
 from repro.common.config import StreamFilterConfig
 from repro.common.types import Direction

@@ -1,6 +1,5 @@
 """Unit tests for the Figure 12 stream counter."""
 
-import pytest
 
 from repro.experiments.stream_lengths import stream_length_counts
 

@@ -113,5 +113,5 @@ class TestEpochReport:
 
     def test_report_honours_max_rows(self):
         report = epoch_report(_synthetic_probes(), max_rows=1)
-        lines = [l for l in report.splitlines() if l and l[0].isdigit()]
+        lines = [ln for ln in report.splitlines() if ln and ln[0].isdigit()]
         assert len(lines) == 1

@@ -1,6 +1,5 @@
 """Unit tests for the trace format."""
 
-import pytest
 
 from repro.workloads.trace import Trace, TraceRecord
 

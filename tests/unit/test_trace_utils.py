@@ -6,7 +6,7 @@ from repro.workloads.trace import Trace
 
 
 def t(lines, name="t"):
-    return Trace([(0, l, False) for l in lines], name=name)
+    return Trace([(0, line, False) for line in lines], name=name)
 
 
 class TestSlice:

@@ -1,6 +1,5 @@
 """Unit tests for repro.common.types."""
 
-import pytest
 
 from repro.common.types import (
     LINE_SIZE,

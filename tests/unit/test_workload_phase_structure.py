@@ -1,6 +1,5 @@
 """Unit tests: phase rounds show up in the generated traces."""
 
-import pytest
 
 from repro.analysis.slh_accuracy import exact_slh
 from repro.workloads.synthetic import StreamWorkload, WorkloadPhase, generate_trace

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Simulator-invariant static analysis — CLI front door.
+
+Usage (from the repo root, with ``PYTHONPATH=src``)::
+
+    python tools/lint.py                  # report findings
+    python tools/lint.py --check         # CI gate: nonzero on new findings
+    python tools/lint.py --json          # machine-readable report
+    python tools/lint.py --write-registry  # regenerate stat_keys.py
+    python tools/lint.py --update-baseline # grandfather current findings
+
+The same engine is exposed as ``python -m repro lint``.  Rule
+catalogue, waiver syntax, and the baseline workflow: docs/linting.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.analysislint.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
