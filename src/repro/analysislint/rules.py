@@ -32,8 +32,10 @@ SIM_PACKAGES: Set[str] = {
 HOT_PACKAGES: Set[str] = {"controller", "dram", "prefetch"}
 
 #: Modules allowlisted for wall-clock use: the tracer self-measures its
-#: overhead and the perf harness times the host — both legitimate.
-WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py")
+#: overhead, the perf harness times the host, and the observability
+#: package timestamps fleet-level records (snapshots, post-mortems,
+#: uptime) — all host-side concerns, never simulated time.
+WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py", "repro/obs/")
 
 
 class Rule:

@@ -13,6 +13,8 @@ Commands:
 * ``cost``      — the hardware-cost table (Section 5.1)
 * ``telemetry`` — run one benchmark with full instrumentation and
   export/print the epoch-resolved series (see docs/telemetry.md)
+* ``obs``       — fleet observability: ``obs serve`` exposes the
+  metrics snapshots of past sweeps over HTTP (docs/observability.md)
 * ``lint``      — simulator-invariant static analysis (determinism,
   dual-path parity, cycle accounting, stat-key registry, hot-path
   hygiene; see docs/linting.md)
@@ -22,7 +24,10 @@ log) and ``--probe-interval N`` (sample epoch series every N epochs);
 both default to off, costing nothing.  ``compare``, ``suite`` and
 ``sweep`` accept ``--jobs N`` (parallel workers) and ``--no-store``
 (skip the on-disk result store); traced runs are always serial and
-never stored.
+never stored.  ``sweep`` additionally drives a live progress line
+(suppress with ``--no-progress``), always writes a metrics snapshot
+under ``.repro-results/metrics/``, and serves ``/metrics`` +
+``/healthz`` + ``/progress`` live when given ``--metrics-port N``.
 """
 
 from __future__ import annotations
@@ -123,6 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="configurations (default: NP PS MS PMS)")
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
+    sweep.add_argument("--metrics-port", type=int, metavar="N", default=None,
+                       help="serve /metrics, /healthz and /progress on "
+                            "127.0.0.1:N for the duration of the sweep "
+                            "(0 = OS-assigned)")
+    sweep.add_argument("--no-progress", action="store_true",
+                       help="suppress the live progress line")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="log sweep robustness events to stderr")
     common(sweep)
     parallel(sweep,
              jobs_help="worker processes (default REPRO_JOBS or all CPUs)")
@@ -154,6 +167,21 @@ def _build_parser() -> argparse.ArgumentParser:
     tel.add_argument("--rows", type=int, default=20,
                      help="epoch-report rows to print (default 20)")
     common(tel)
+
+    obs = sub.add_parser(
+        "obs", help="fleet observability (docs/observability.md)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    serve = obs_sub.add_parser(
+        "serve", help="serve stored metrics snapshots over HTTP"
+    )
+    serve.add_argument("--port", type=int, default=9123,
+                       help="TCP port to bind (default 9123, 0 = OS pick)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--dir", dest="directory", default=None,
+                       help="snapshot directory (default "
+                            ".repro-results/metrics)")
 
     lint = sub.add_parser(
         "lint", help="simulator-invariant static analysis (docs/linting.md)"
@@ -316,9 +344,13 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import logging
     import os
 
     from repro.experiments import sweep
+    from repro.obs import exporters, metrics
+    from repro.obs import progress as obs_progress
+    from repro.obs.server import ObsServer
 
     if args.benchmarks:
         benchmarks = list(args.benchmarks)
@@ -327,6 +359,12 @@ def _cmd_sweep(args) -> int:
     else:
         print("sweep: pass --suite or --benchmarks", file=sys.stderr)
         return 2
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO, stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(logging.INFO)
     jobs = args.jobs if args.jobs is not None else (
         int(os.environ["REPRO_JOBS"]) if "REPRO_JOBS" in os.environ
         else os.cpu_count() or 1
@@ -336,10 +374,37 @@ def _cmd_sweep(args) -> int:
         sweep.Job(b, c, accesses=args.accesses, seed=args.seed)
         for b in benchmarks for c in configs
     ]
-    outcome = sweep.run_jobs(
-        specs, jobs=max(1, jobs), timeout=args.timeout,
-        use_store=False if args.no_store else None,
+    # The sweep CLI always runs with fleet metrics on: the registry is
+    # cheap at this granularity and feeds the snapshot + live endpoint.
+    registry = metrics.MetricsRegistry(enabled=True)
+    metrics.set_default_registry(registry)
+    live = obs_progress.SweepProgress()
+    printer = (
+        None if args.no_progress else obs_progress.ProgressPrinter(live)
     )
+    if printer is not None:
+        live.subscribe(printer.on_change)
+    server = None
+    if args.metrics_port is not None:
+        server = ObsServer(
+            registry=registry, progress=live, port=args.metrics_port
+        ).start()
+        print(f"  obs endpoint: {server.url}", file=sys.stderr)
+    try:
+        outcome = sweep.run_jobs(
+            specs, jobs=max(1, jobs), timeout=args.timeout,
+            use_store=False if args.no_store else None,
+            progress=live, metrics=registry,
+        )
+    finally:
+        if printer is not None:
+            printer.close()
+        snapshot_path = exporters.write_snapshot(
+            registry, progress=live.snapshot()
+        )
+        if server is not None:
+            server.close()
+        metrics.reset_default_registry()
     by_bench = {}
     for spec, result in zip(specs, outcome.results):
         by_bench.setdefault(spec.benchmark, {})[spec.config_name] = result
@@ -360,12 +425,30 @@ def _cmd_sweep(args) -> int:
                    f"jobs={max(1, jobs)})"),
         )
     )
-    print(f"  {outcome.stats.describe()}")
+    print(f"  {outcome.stats.summary()}")
     if not args.no_store:
         from repro.experiments import store
 
         st = store.get_store()
         print(f"  store: {len(st)} entries at {st.root}")
+    print(f"  metrics snapshot: {snapshot_path}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.paths import metrics_dir
+    from repro.obs.server import ObsServer
+
+    directory = args.directory if args.directory else metrics_dir()
+    server = ObsServer(snapshot_dir=directory, host=args.host, port=args.port)
+    print(f"serving metrics snapshots from {directory} on {server.url}")
+    print("endpoints: /metrics /metrics.json /healthz /progress (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -458,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": lambda: _cmd_trace(args),
         "cost": lambda: _cmd_cost(args),
         "telemetry": lambda: _cmd_telemetry(args),
+        "obs": lambda: _cmd_obs(args),
         "lint": lambda: _cmd_lint(args),
     }
     return handlers[args.command]()

@@ -34,6 +34,8 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.experiments import store
+from repro.obs.metrics import default_registry
+from repro.obs.progress import SweepProgress
 from repro.system.presets import make_config
 from repro.system.results import RunResult
 from repro.system.simulator import simulate
@@ -148,6 +150,18 @@ def _store_for(use_store: Optional[bool]) -> Optional[store.ResultStore]:
     return store.get_store() if enabled else None
 
 
+def _count_run(source: str) -> None:
+    """Mirror one :func:`run` resolution into the metrics registry."""
+    registry = default_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_runs_total",
+            "runner.run() calls resolved, by source "
+            "(cache, store, simulated).",
+            ("source",),
+        ).inc(source=source)
+
+
 def run(
     benchmark: str,
     config_name: str,
@@ -182,6 +196,7 @@ def run(
                     scheduler, mutate_key, traced)
     cacheable = (mutate is None or mutate_key is not None) and not traced
     if cacheable and key in _run_cache:
+        _count_run("cache")
         return _run_cache[key]
 
     config = make_config(config_name, threads=threads, scheduler=scheduler)
@@ -196,10 +211,12 @@ def run(
         stored = active_store.get(spec)
         if stored is not None:
             _run_cache[key] = stored
+            _count_run("store")
             return stored
 
     result = simulate_job(config, benchmark, accesses, seed, threads,
                           tracer=tracer, probes=probes)
+    _count_run("simulated")
     if cacheable:
         _run_cache[key] = result
         if active_store is not None:
@@ -231,6 +248,7 @@ def run_suite(
     config_names: Iterable[str] = ("NP", "PS", "MS", "PMS"),
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
+    progress: Optional[SweepProgress] = None,
     **kwargs,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run several benchmarks under several configurations.
@@ -243,17 +261,22 @@ def run_suite(
     their events in-process, callables do not cross process boundaries,
     and unknown kwargs must raise the same ``TypeError`` they would
     serially.  Parallel results compare equal to serial ones.
+
+    ``progress`` is an optional live :class:`~repro.obs.progress.
+    SweepProgress` driven as grid cells resolve; any sweepable suite —
+    even a serial one — routes through the sweep engine so progress,
+    metrics, and the provenance counters behave identically at every
+    job count.
     """
     benchmarks = tuple(benchmarks)
     config_names = tuple(config_names)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     unknown = set(kwargs) - _PARALLEL_KWARGS - _SERIAL_ONLY_KWARGS
-    parallelizable = (
-        jobs > 1
-        and not unknown
+    sweepable = (
+        not unknown
         and all(kwargs.get(k) is None for k in _SERIAL_ONLY_KWARGS)
     )
-    if parallelizable:
+    if sweepable:
         from repro.experiments import sweep
 
         specs = [
@@ -271,10 +294,21 @@ def run_suite(
         outcome = sweep.run_jobs(
             specs, jobs=jobs, timeout=timeout,
             use_store=kwargs.get("use_store"),
+            progress=progress,
         )
         results = iter(outcome.results)
         return {b: {c: next(results) for c in config_names}
                 for b in benchmarks}
+    if progress is not None:
+        progress.begin(total=len(benchmarks) * len(config_names), workers=1)
+        suite: Dict[str, Dict[str, RunResult]] = {}
+        for benchmark in benchmarks:
+            suite[benchmark] = {}
+            for name in config_names:
+                suite[benchmark][name] = run(benchmark, name, **kwargs)
+                progress.job_done("serial")
+        progress.finish()
+        return suite
     return {b: run_configs(b, config_names, **kwargs) for b in benchmarks}
 
 

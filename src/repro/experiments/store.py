@@ -34,6 +34,7 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.dram.power import PowerReport
+from repro.obs.metrics import default_registry
 from repro.system.results import RunResult
 
 #: Bumped whenever the stored payload or key layout changes; part of
@@ -145,6 +146,30 @@ class StoreStats:
         self.hits = self.misses = self.puts = self.errors = 0
 
 
+def _count_read(result: str) -> None:
+    """Mirror one store read into the process metrics registry."""
+    registry = default_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_store_reads_total",
+            "Result-store reads, by outcome (hit, miss, error).",
+            ("result",),
+        ).inc(result=result)
+
+
+def _count_write(nbytes: int) -> None:
+    """Mirror one store write (and its payload size) into the registry."""
+    registry = default_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_store_writes_total", "Results persisted to the store."
+        ).inc()
+        registry.counter(
+            "repro_store_bytes_written_total",
+            "Bytes of JSON written to the result store.",
+        ).inc(nbytes)
+
+
 class ResultStore:
     """One directory of ``<job_key>.json`` result files."""
 
@@ -168,12 +193,15 @@ class ResultStore:
             result = decode_result(document["result"])
         except FileNotFoundError:
             self.stats.misses += 1
+            _count_read("miss")
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.errors += 1
             self.stats.misses += 1
+            _count_read("error")
             return None
         self.stats.hits += 1
+        _count_read("hit")
         return result
 
     def put(self, spec: Mapping[str, object], result: RunResult) -> str:
@@ -186,13 +214,14 @@ class ResultStore:
             "spec": dict(spec),
             "result": encode_result(result),
         }
+        text = json.dumps(document, sort_keys=True)
         os.makedirs(self.root, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             prefix=".tmp-", suffix=".json", dir=self.root
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
+                handle.write(text)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -201,6 +230,7 @@ class ResultStore:
                 pass
             raise
         self.stats.puts += 1
+        _count_write(len(text.encode("utf-8")))
         return path
 
     def entries(self) -> Iterator[Tuple[Dict[str, object], RunResult]]:

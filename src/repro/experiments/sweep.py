@@ -28,20 +28,38 @@ the same specs (asserted by ``tests/integration/test_sweep_parallel``).
 
 Telemetry never enters this module: traced runs are serial-only by the
 rule established in :mod:`repro.telemetry` (see docs/telemetry.md).
+
+Observability (:mod:`repro.obs`, docs/observability.md): every call to
+:func:`run_jobs` reports serving outcomes, per-job wall times, queue
+waits, and robustness events into the process metrics registry (a
+no-op unless metrics are enabled), can drive a live
+:class:`~repro.obs.progress.SweepProgress`, and keeps a flight
+recorder whose ring is dumped as a post-mortem JSON under
+``.repro-results/postmortem/`` whenever a job times out or exhausts
+its crash-retry budget.  The silent paths of the robustness machinery
+log through the ``repro.experiments.sweep`` logger.
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
+from time import perf_counter
+from time import time as _wall_time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.experiments import runner, store
+from repro.obs import flightrec
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import SweepProgress
 from repro.system.presets import make_config
 from repro.system.results import RunResult
+
+_log = logging.getLogger("repro.experiments.sweep")
 
 
 @dataclass(frozen=True)
@@ -82,7 +100,13 @@ class Job:
 
 @dataclass
 class SweepStats:
-    """Where every job of one :func:`run_jobs` call was served from."""
+    """Where every job of one :func:`run_jobs` call was served from.
+
+    The ``store_*`` fields are the :class:`~repro.experiments.store.
+    StoreStats` delta observed during this call (the counters exist on
+    every store instance but used to be write-only — here they surface
+    in every sweep summary).
+    """
 
     total: int = 0
     from_cache: int = 0  # in-process cache hits
@@ -92,19 +116,41 @@ class SweepStats:
     retries: int = 0  # resubmissions after a pool break
     timeouts: int = 0  # jobs that hit the per-job timeout
     pool_failures: int = 0  # pool breaks observed
+    serial_fallbacks: int = 0  # jobs forced serial (no pool/retries gone)
+    store_hits: int = 0  # store reads answered during this call
+    store_misses: int = 0  # store reads that missed
+    store_errors: int = 0  # corrupt entries treated as misses
+    store_puts: int = 0  # results persisted during this call
 
     def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of every counter."""
         return dict(self.__dict__)
 
-    def describe(self) -> str:
-        return (
+    def summary(self) -> str:
+        """The one-line provenance summary ``repro sweep`` prints."""
+        line = (
             f"{self.total} jobs: {self.from_cache} cached, "
             f"{self.from_store} from store, "
             f"{self.executed_parallel} simulated in workers, "
             f"{self.executed_serial} simulated serially"
             + (f", {self.retries} retried" if self.retries else "")
             + (f", {self.timeouts} timed out" if self.timeouts else "")
+            + (f", {self.pool_failures} pool failures"
+               if self.pool_failures else "")
+            + (f", {self.serial_fallbacks} serial fallbacks"
+               if self.serial_fallbacks else "")
         )
+        if self.store_hits or self.store_misses or self.store_puts:
+            line += (
+                f"; store: {self.store_hits} hits / "
+                f"{self.store_misses} misses, {self.store_puts} written"
+                + (f", {self.store_errors} corrupt" if self.store_errors else "")
+            )
+        return line
+
+    def describe(self) -> str:
+        """Backwards-compatible alias for :meth:`summary`."""
+        return self.summary()
 
 
 @dataclass
@@ -119,13 +165,100 @@ class SweepOutcome:
 _Pending = Tuple[int, Job, Tuple, Dict[str, object], SystemConfig]
 
 
+class _SweepObs:
+    """Observability fan-out for one :func:`run_jobs` call.
+
+    Bundles the metric instruments, the optional live
+    :class:`~repro.obs.progress.SweepProgress`, and the flight
+    recorder, so the execution paths below report through one object.
+    Every method is a near-no-op when metrics are disabled and no
+    progress/recorder is attached.
+    """
+
+    __slots__ = ("metrics", "progress", "recorder", "enabled",
+                 "_jobs", "_seconds", "_queue_wait", "_events")
+
+    def __init__(
+        self,
+        metrics: obs_metrics.MetricsRegistry,
+        progress: Optional[SweepProgress],
+        recorder: flightrec.FlightRecorder,
+    ) -> None:
+        self.metrics = metrics
+        self.progress = progress
+        self.recorder = recorder
+        self.enabled = metrics.enabled
+        if self.enabled:
+            self._jobs = metrics.counter(
+                "repro_sweep_jobs_total",
+                "Sweep jobs resolved, by serving outcome.",
+                ("outcome",),
+            )
+            self._seconds = metrics.histogram(
+                "repro_sweep_job_seconds",
+                "Per-job wall time of executed jobs, by execution mode.",
+                ("mode",),
+            )
+            self._queue_wait = metrics.histogram(
+                "repro_sweep_queue_wait_seconds",
+                "Submit-to-worker-start wait of parallel jobs.",
+            )
+            self._events = metrics.counter(
+                "repro_sweep_events_total",
+                "Sweep robustness events (timeout, retry, pool_break, ...).",
+                ("event",),
+            )
+
+    def job_done(
+        self,
+        outcome: str,
+        seconds: Optional[float] = None,
+        queue_wait: Optional[float] = None,
+    ) -> None:
+        """One job resolved: count it, time it, advance the progress."""
+        if self.enabled:
+            self._jobs.inc(outcome=outcome)
+            if seconds is not None:
+                self._seconds.observe(seconds, mode=outcome)
+            if queue_wait is not None:
+                self._queue_wait.observe(queue_wait)
+        if self.progress is not None:
+            self.progress.job_done(outcome, seconds)
+
+    def event(self, name: str, **fields: object) -> None:
+        """One robustness event: metric, flight-recorder note, progress."""
+        if self.enabled:
+            self._events.inc(event=name)
+        self.recorder.note(name, **fields)
+        if self.progress is not None:
+            self.progress.note_event(name)
+
+    def postmortem(self, reason: str, item: _Pending, **extra: object) -> None:
+        """Dump the flight recorder for one failed job (never raises)."""
+        spec = item[3]
+        try:
+            path = self.recorder.postmortem(
+                reason, store.job_key(spec), spec=spec, extra=extra or None
+            )
+        except Exception:  # defensive: diagnostics must not kill sweeps
+            _log.warning("post-mortem dump failed", exc_info=True)
+            return
+        if path is not None:
+            _log.info("post-mortem written: %s", path)
+
+
 def _job_payload(job: Job) -> Dict[str, object]:
-    """The picklable argument a worker receives (no callables)."""
+    """The picklable argument a worker receives (no callables).
+
+    ``_submitted`` carries the parent's submit wall-clock stamp so the
+    worker can report its queue wait (same host, same clock).
+    """
     return {
         "benchmark": job.benchmark,
         "accesses": job.accesses,
         "seed": job.seed,
         "threads": job.threads,
+        "_submitted": _wall_time(),
     }
 
 
@@ -134,8 +267,12 @@ def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, 
 
     The parent ships the fully-built :class:`SystemConfig` (presets
     only — :meth:`Job.resolve` rejects mutated jobs), so workers never
-    need callables; the result travels back through the store codec.
+    need callables; the result travels back through the store codec,
+    annotated with a small ``_obs`` timing block (queue wait + exec
+    seconds) the parent strips before decoding.
     """
+    started = _wall_time()
+    t0 = perf_counter()
     result = runner.simulate_job(
         config,
         payload["benchmark"],
@@ -143,7 +280,12 @@ def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, 
         payload["seed"],
         payload["threads"],
     )
-    return store.encode_result(result)
+    encoded = store.encode_result(result)
+    encoded["_obs"] = {
+        "queue_wait_s": max(0.0, started - payload.get("_submitted", started)),
+        "exec_s": perf_counter() - t0,
+    }
+    return encoded
 
 
 def _make_executor(workers: int) -> Optional[ProcessPoolExecutor]:
@@ -162,6 +304,9 @@ def run_jobs(
     retries: int = 1,
     use_store: Optional[bool] = None,
     worker: Optional[Callable[[Dict[str, object], SystemConfig], Dict[str, object]]] = None,
+    progress: Optional[SweepProgress] = None,
+    metrics: Optional[obs_metrics.MetricsRegistry] = None,
+    recorder: Optional[flightrec.FlightRecorder] = None,
 ) -> SweepOutcome:
     """Execute a list of :class:`Job` specs, fanning out when asked.
 
@@ -170,6 +315,12 @@ def run_jobs(
     resubmissions after worker crashes.  ``use_store`` overrides the
     ``REPRO_STORE`` default.  ``worker`` replaces the worker function
     (tests inject crashing/hanging stubs; it must be picklable).
+
+    Observability: ``progress`` is a live
+    :class:`~repro.obs.progress.SweepProgress` updated as jobs resolve;
+    ``metrics`` overrides the process default registry; ``recorder``
+    overrides the per-call flight recorder.  All three default to the
+    ambient/no-op behaviour described in the module docstring.
 
     Returns a :class:`SweepOutcome` whose ``results`` align one-to-one
     with ``specs``.
@@ -181,41 +332,70 @@ def run_jobs(
         if (store.store_enabled() if use_store is None else use_store)
         else None
     )
-
-    pending: List[_Pending] = []
-    for index, job in enumerate(specs):
-        job = job.resolve()
-        key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
-                               job.seed, job.threads, job.scheduler,
-                               job.mutate_key)
-        cached = runner.cached_result(key)
-        if cached is not None:
-            results[index] = cached
-            stats.from_cache += 1
-            continue
-        config = make_config(job.config_name, threads=job.threads,
-                             scheduler=job.scheduler)
-        spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
-                              job.seed, job.threads, job.scheduler,
-                              job.mutate_key, config)
-        if active_store is not None:
-            stored = active_store.get(spec)
-            if stored is not None:
-                results[index] = stored
-                runner.seed_cache(key, stored)
-                stats.from_store += 1
+    metrics = obs_metrics.default_registry() if metrics is None else metrics
+    if recorder is None:
+        recorder = flightrec.FlightRecorder(metrics=metrics)
+    obs = _SweepObs(metrics, progress, recorder)
+    if progress is not None:
+        progress.begin(total=len(specs), workers=max(1, jobs))
+    store_before = (
+        active_store.stats.as_dict() if active_store is not None else None
+    )
+    recorder.attach("repro")
+    try:
+        pending: List[_Pending] = []
+        for index, job in enumerate(specs):
+            job = job.resolve()
+            key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
+                                   job.seed, job.threads, job.scheduler,
+                                   job.mutate_key)
+            cached = runner.cached_result(key)
+            if cached is not None:
+                results[index] = cached
+                stats.from_cache += 1
+                obs.job_done("cached")
                 continue
-        pending.append((index, job, key, spec, config))
+            config = make_config(job.config_name, threads=job.threads,
+                                 scheduler=job.scheduler)
+            spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
+                                  job.seed, job.threads, job.scheduler,
+                                  job.mutate_key, config)
+            if active_store is not None:
+                stored = active_store.get(spec)
+                if stored is not None:
+                    results[index] = stored
+                    runner.seed_cache(key, stored)
+                    stats.from_store += 1
+                    obs.job_done("store")
+                    continue
+            pending.append((index, job, key, spec, config))
 
-    if pending:
-        if jobs <= 1:
-            for item in pending:
-                results[item[0]] = _run_one_serial(item, active_store, stats)
-        else:
-            executed = _run_parallel(pending, jobs, timeout, retries,
-                                     active_store, stats, worker or _execute_job)
-            for index, result in executed.items():
-                results[index] = result
+        if pending:
+            if jobs <= 1:
+                for item in pending:
+                    results[item[0]] = _run_one_serial(
+                        item, active_store, stats, obs
+                    )
+            else:
+                executed = _run_parallel(
+                    pending, jobs, timeout, retries, active_store, stats,
+                    worker or _execute_job, obs,
+                )
+                for index, result in executed.items():
+                    results[index] = result
+    finally:
+        recorder.detach()
+        if store_before is not None:
+            delta = {
+                key: value - store_before.get(key, 0)
+                for key, value in active_store.stats.as_dict().items()
+            }
+            stats.store_hits = delta.get("hits", 0)
+            stats.store_misses = delta.get("misses", 0)
+            stats.store_errors = delta.get("errors", 0)
+            stats.store_puts = delta.get("puts", 0)
+        if progress is not None:
+            progress.finish()
     return SweepOutcome(results=results, stats=stats)
 
 
@@ -236,12 +416,15 @@ def _run_one_serial(
     item: _Pending,
     active_store: Optional[store.ResultStore],
     stats: SweepStats,
+    obs: _SweepObs,
 ) -> RunResult:
     """Execute one job in this process (the fallback of last resort)."""
     _, job, _, _, config = item
+    t0 = perf_counter()
     result = runner.simulate_job(config, job.benchmark, job.accesses,
                                  job.seed, job.threads)
     stats.executed_serial += 1
+    obs.job_done("serial", perf_counter() - t0)
     return _finish(item, result, active_store)
 
 
@@ -253,6 +436,7 @@ def _run_parallel(
     active_store: Optional[store.ResultStore],
     stats: SweepStats,
     worker: Callable,
+    obs: _SweepObs,
 ) -> Dict[int, RunResult]:
     """Fan pending jobs out; retry pool breaks; fall back serially."""
     done: Dict[int, RunResult] = {}
@@ -261,8 +445,15 @@ def _run_parallel(
     while todo:
         executor = _make_executor(min(jobs, len(todo)))
         if executor is None:
+            _log.warning(
+                "process pool unavailable; running %d job(s) serially",
+                len(todo),
+            )
             for item in todo:
-                done[item[0]] = _run_one_serial(item, active_store, stats)
+                obs.event("serial_fallback", reason="pool_unavailable",
+                          job_key=store.job_key(item[3]))
+                stats.serial_fallbacks += 1
+                done[item[0]] = _run_one_serial(item, active_store, stats, obs)
             return done
         futures = [
             (executor.submit(worker, _job_payload(item[1]), item[4]), item)
@@ -275,15 +466,26 @@ def _run_parallel(
             index = item[0]
             try:
                 payload = future.result(timeout=timeout)
+                timing = payload.pop("_obs", None) or {}
                 done[index] = _finish(item, store.decode_result(payload),
                                       active_store)
                 stats.executed_parallel += 1
+                obs.job_done("parallel", timing.get("exec_s"),
+                             timing.get("queue_wait_s"))
             except FutureTimeout:
                 # The worker may be wedged; abandon it (the pool is shut
                 # down below without waiting) and run here instead.
                 stats.timeouts += 1
                 timed_out = True
-                done[index] = _run_one_serial(item, active_store, stats)
+                job_key = store.job_key(item[3])
+                _log.warning(
+                    "job %s (%s/%s) exceeded the %ss per-job timeout; "
+                    "rerunning serially in the parent",
+                    job_key, item[1].benchmark, item[1].config_name, timeout,
+                )
+                obs.event("timeout", job_key=job_key, timeout_s=timeout)
+                obs.postmortem("timeout", item, timeout_s=timeout)
+                done[index] = _run_one_serial(item, active_store, stats, obs)
             except BrokenProcessPool:
                 # A worker died.  Every outstanding future on this pool
                 # fails the same way; resubmit each on a fresh pool
@@ -291,12 +493,35 @@ def _run_parallel(
                 if not pool_broke:
                     pool_broke = True
                     stats.pool_failures += 1
+                    _log.warning(
+                        "worker process died; pool broken with %d job(s) "
+                        "outstanding", len(futures) - len(done),
+                    )
+                    obs.event("pool_break", outstanding=len(futures) - len(done))
                 attempts[index] += 1
+                job_key = store.job_key(item[3])
                 if attempts[index] <= retries:
                     stats.retries += 1
+                    _log.info(
+                        "resubmitting job %s on a fresh pool (attempt %d/%d)",
+                        job_key, attempts[index], retries,
+                    )
+                    obs.event("retry", job_key=job_key,
+                              attempt=attempts[index], budget=retries)
                     requeue.append(item)
                 else:
-                    done[index] = _run_one_serial(item, active_store, stats)
+                    stats.serial_fallbacks += 1
+                    _log.error(
+                        "job %s exhausted its %d crash retr%s; falling back "
+                        "to serial execution",
+                        job_key, retries, "y" if retries == 1 else "ies",
+                    )
+                    obs.event("retry_exhausted", job_key=job_key,
+                              attempts=attempts[index])
+                    obs.postmortem("worker_crash", item,
+                                   attempts=attempts[index], budget=retries)
+                    done[index] = _run_one_serial(item, active_store, stats,
+                                                  obs)
         if timed_out:
             # A wedged worker would otherwise be joined at interpreter
             # exit, stalling the parent for the worker's full runtime.

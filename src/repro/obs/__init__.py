@@ -1,0 +1,69 @@
+"""repro.obs — process-wide metrics, live progress, health endpoints,
+and crash post-mortems.
+
+Where :mod:`repro.telemetry` looks *inside one run* (epoch-resolved
+series, typed event traces), ``repro.obs`` watches the *fleet*: how
+many jobs a sweep executed and where they were served from, what the
+result store's hit rate is, how long jobs take, and what was happening
+right before a worker died.  See docs/observability.md for the metric
+catalogue and the "telemetry vs. obs" decision guide in
+docs/telemetry.md.
+
+* :mod:`repro.obs.metrics` — the labeled counter/gauge/histogram
+  registry (``NULL_METRICS`` disabled default, ``REPRO_METRICS=1`` or
+  the CLI to enable).
+* :mod:`repro.obs.exporters` — Prometheus text exposition + JSON
+  snapshots under ``.repro-results/metrics/``.
+* :mod:`repro.obs.server` — the stdlib HTTP endpoint (``/metrics``,
+  ``/healthz``, ``/progress``) behind ``repro sweep --metrics-port``
+  and ``repro obs serve``.
+* :mod:`repro.obs.progress` — live sweep counters, ETA, and the TTY
+  status line.
+* :mod:`repro.obs.flightrec` — the flight recorder and its
+  ``.repro-results/postmortem/<job-key>.json`` crash dumps.
+* :mod:`repro.obs.bridge` — folds per-run totals (``RunResult``,
+  loop stats, tracer counts) into the registry.
+"""
+
+from repro.obs.exporters import (
+    parse_exposition,
+    registry_snapshot,
+    render_exposition,
+    write_snapshot,
+)
+from repro.obs.flightrec import FlightRecorder, read_postmortem
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+    set_default_registry,
+)
+from repro.obs.progress import ProgressPrinter, SweepProgress, render_line
+from repro.obs.server import ObsServer
+
+__all__ = [
+    "NULL_METRICS",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ObsServer",
+    "ProgressPrinter",
+    "SweepProgress",
+    "default_registry",
+    "parse_exposition",
+    "read_postmortem",
+    "registry_snapshot",
+    "render_exposition",
+    "render_line",
+    "reset_default_registry",
+    "set_default_registry",
+    "write_snapshot",
+]

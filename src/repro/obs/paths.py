@@ -1,0 +1,38 @@
+"""Filesystem layout of the obs subsystem's on-disk artifacts.
+
+Everything obs writes lives under the same root as the result store
+(``REPRO_STORE_DIR`` or ``.repro-results``):
+
+* ``<root>/metrics/``    — JSON metrics snapshots (one per sweep, the
+  newest always at ``latest.json``), servable by ``repro obs serve``;
+* ``<root>/postmortem/`` — crash/timeout post-mortems written by the
+  flight recorder (:mod:`repro.obs.flightrec`).
+
+The root is resolved with the exact rule :func:`repro.experiments.store.
+store_root` uses, duplicated here (two lines) so that ``repro.obs``
+stays importable by the simulator core without pulling in the
+experiments layer; ``tests/unit/test_obs_flightrec.py`` pins the two
+implementations together.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Default artifact root, shared with the result store.
+DEFAULT_ROOT = ".repro-results"
+
+
+def obs_root() -> str:
+    """Artifact root: ``REPRO_STORE_DIR`` or ``.repro-results``."""
+    return os.environ.get("REPRO_STORE_DIR") or DEFAULT_ROOT
+
+
+def metrics_dir(root: str | None = None) -> str:
+    """Directory metrics snapshots are written to (not created here)."""
+    return os.path.join(root if root is not None else obs_root(), "metrics")
+
+
+def postmortem_dir(root: str | None = None) -> str:
+    """Directory crash post-mortems are written to (not created here)."""
+    return os.path.join(root if root is not None else obs_root(), "postmortem")

@@ -1,0 +1,130 @@
+"""Endpoint tests for repro.obs.server against a real HTTP socket.
+
+The server binds port 0 (OS-assigned) on 127.0.0.1 and is exercised
+with urllib from the test process — no external tooling.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import exporters
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import SweepProgress
+from repro.obs.server import ObsServer
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def live_server():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("repro_sweep_jobs_total", "jobs", ("outcome",)).inc(
+        2, outcome="serial"
+    )
+    registry.histogram("repro_sweep_job_seconds", "seconds").observe(0.2)
+    progress = SweepProgress(total=4)
+    progress.job_done("serial", seconds=0.2)
+    server = ObsServer(registry=registry, progress=progress).start()
+    yield server
+    server.close()
+
+
+class TestLiveEndpoints:
+    def test_metrics_is_valid_exposition(self, live_server):
+        status, headers, body = get(live_server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == exporters.EXPOSITION_CONTENT_TYPE
+        parsed = exporters.parse_exposition(body)
+        assert parsed[
+            ("repro_sweep_jobs_total", (("outcome", "serial"),))
+        ] == 2.0
+        assert ("repro_sweep_job_seconds_count", ()) in parsed
+
+    def test_metrics_json(self, live_server):
+        status, _, body = get(live_server.url + "/metrics.json")
+        document = json.loads(body)
+        assert status == 200
+        assert document["version"] == exporters.SNAPSHOT_VERSION
+        assert document["progress"]["done"] == 1
+
+    def test_healthz(self, live_server):
+        status, _, body = get(live_server.url + "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["metrics_source"] == "live"
+        assert health["uptime_seconds"] >= 0
+        assert isinstance(health["pid"], int)
+
+    def test_progress_json(self, live_server):
+        status, _, body = get(live_server.url + "/progress.json")
+        snap = json.loads(body)
+        assert status == 200
+        assert snap["done"] == 1
+        assert snap["total"] == 4
+
+    def test_progress_dashboard_html(self, live_server):
+        for path in ("/progress", "/"):
+            status, headers, body = get(live_server.url + path)
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+            assert "<progress" in body
+            assert "sweep 1/4" in body
+
+    def test_unknown_route_is_404(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(live_server.url + "/nope")
+        assert err.value.code == 404
+
+
+class TestSnapshotDirServing:
+    def test_serves_latest_snapshot(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("repro_store_reads_total", "reads", ("result",)).inc(
+            5, result="hit"
+        )
+        directory = str(tmp_path)
+        exporters.write_snapshot(
+            registry, directory=directory, progress={"done": 9, "total": 9,
+                                                     "percent": 100.0,
+                                                     "outcomes": {},
+                                                     "events": {},
+                                                     "eta_seconds": 0.0,
+                                                     "elapsed_seconds": 1.0,
+                                                     "hit_rate": 1.0,
+                                                     "finished": True},
+        )
+        server = ObsServer(snapshot_dir=directory).start()
+        try:
+            _, _, body = get(server.url + "/metrics")
+            parsed = exporters.parse_exposition(body)
+            assert parsed[
+                ("repro_store_reads_total", (("result", "hit"),))
+            ] == 5.0
+            _, _, health = get(server.url + "/healthz")
+            assert "snapshot:" in json.loads(health)["metrics_source"]
+            _, _, progress = get(server.url + "/progress.json")
+            assert json.loads(progress)["done"] == 9
+        finally:
+            server.close()
+
+    def test_empty_dir_serves_empty_exposition(self, tmp_path):
+        server = ObsServer(snapshot_dir=str(tmp_path)).start()
+        try:
+            status, _, body = get(server.url + "/metrics")
+            assert status == 200
+            assert body == ""
+            _, _, health = get(server.url + "/healthz")
+            assert "(empty)" in json.loads(health)["metrics_source"]
+        finally:
+            server.close()
+
+    def test_needs_registry_or_dir(self):
+        with pytest.raises(ValueError, match="registry or a snapshot_dir"):
+            ObsServer()

@@ -59,6 +59,43 @@ class TestFigureRegistry:
                 assert hasattr(module, render_name)
 
 
+class TestObsFlags:
+    def test_sweep_obs_defaults(self):
+        args = _build_parser().parse_args(["sweep", "-b", "milc"])
+        assert args.metrics_port is None
+        assert not args.no_progress
+        assert not args.verbose
+
+    def test_sweep_obs_flags(self):
+        args = _build_parser().parse_args(
+            ["sweep", "-b", "milc", "--metrics-port", "0",
+             "--no-progress", "--verbose"]
+        )
+        assert args.metrics_port == 0
+        assert args.no_progress
+        assert args.verbose
+
+    def test_obs_serve_defaults(self):
+        args = _build_parser().parse_args(["obs", "serve"])
+        assert args.obs_command == "serve"
+        assert args.port == 9123
+        assert args.host == "127.0.0.1"
+        assert args.directory is None
+
+    def test_obs_serve_flags(self):
+        args = _build_parser().parse_args(
+            ["obs", "serve", "--port", "0", "--host", "0.0.0.0",
+             "--dir", "/tmp/metrics"]
+        )
+        assert args.port == 0
+        assert args.host == "0.0.0.0"
+        assert args.directory == "/tmp/metrics"
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["obs"])
+
+
 class TestLintSubcommand:
     def test_lint_defaults(self):
         args = _build_parser().parse_args(["lint"])

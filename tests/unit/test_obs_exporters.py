@@ -1,0 +1,130 @@
+"""Unit tests for repro.obs.exporters — exposition + snapshot codecs."""
+
+import os
+
+import pytest
+
+from repro.obs import exporters
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    jobs = reg.counter("repro_sweep_jobs_total", "Jobs by outcome.",
+                       ("outcome",))
+    jobs.inc(3, outcome="serial")
+    jobs.inc(outcome="cached")
+    reg.gauge("repro_queue_depth", "Queue depth.").set(7)
+    hist = reg.histogram("repro_job_seconds", "Job seconds.",
+                         buckets=(0.1, 1.0, 10.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(99.0)
+    return reg
+
+
+class TestExposition:
+    def test_help_and_type_lines(self):
+        text = exporters.render_exposition(populated_registry())
+        assert "# HELP repro_sweep_jobs_total Jobs by outcome." in text
+        assert "# TYPE repro_sweep_jobs_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_job_seconds histogram" in text
+
+    def test_sample_lines(self):
+        text = exporters.render_exposition(populated_registry())
+        assert 'repro_sweep_jobs_total{outcome="serial"} 3' in text
+        assert 'repro_sweep_jobs_total{outcome="cached"} 1' in text
+        assert "repro_queue_depth 7" in text
+
+    def test_histogram_lines_are_cumulative(self):
+        text = exporters.render_exposition(populated_registry())
+        assert 'repro_job_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_job_seconds_bucket{le="1"} 2' in text
+        assert 'repro_job_seconds_bucket{le="10"} 2' in text
+        assert 'repro_job_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_job_seconds_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert exporters.render_exposition(MetricsRegistry()) == ""
+
+    def test_unused_instruments_are_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("never_incremented_total", "x")
+        assert exporters.render_exposition(reg) == ""
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "", ("path",)).inc(path='a"b\\c\nd')
+        text = exporters.render_exposition(reg)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        parsed = exporters.parse_exposition(text)
+        assert parsed[("c", (("path", 'a"b\\c\nd'),))] == 1.0
+
+
+class TestParse:
+    def test_round_trip_equals_rendered(self):
+        reg = populated_registry()
+        parsed = exporters.parse_exposition(exporters.render_exposition(reg))
+        assert parsed[("repro_sweep_jobs_total", (("outcome", "serial"),))] == 3.0
+        assert parsed[("repro_queue_depth", ())] == 7.0
+        assert parsed[
+            ("repro_job_seconds_bucket", (("le", "+Inf"),))
+        ] == 3.0
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            exporters.parse_exposition('metric{oops} 1')
+        with pytest.raises(ValueError):
+            exporters.parse_exposition("name_only_no_value")
+
+    def test_comments_and_blanks_are_skipped(self):
+        assert exporters.parse_exposition("# HELP x y\n\n# TYPE x counter\n") == {}
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_to_identical_exposition(self):
+        reg = populated_registry()
+        document = exporters.registry_snapshot(reg)
+        assert document["version"] == exporters.SNAPSHOT_VERSION
+        assert exporters.exposition_from_snapshot(document) == (
+            exporters.render_exposition(reg)
+        )
+
+    def test_progress_section_is_embedded(self):
+        document = exporters.registry_snapshot(
+            MetricsRegistry(), progress={"done": 3, "total": 9}
+        )
+        assert document["progress"] == {"done": 3, "total": 9}
+
+    def test_write_load_latest(self, tmp_path):
+        directory = str(tmp_path / "metrics")
+        path = exporters.write_snapshot(
+            populated_registry(), directory=directory
+        )
+        assert os.path.basename(path) == "latest.json"
+        loaded = exporters.load_snapshot(path)
+        assert loaded["version"] == exporters.SNAPSHOT_VERSION
+        found = exporters.latest_snapshot(directory)
+        assert found is not None
+        assert found[0] == path
+        assert found[1] == loaded
+
+    def test_write_snapshot_defaults_under_store_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        path = exporters.write_snapshot(MetricsRegistry())
+        assert path == str(tmp_path / "metrics" / "latest.json")
+
+    def test_latest_snapshot_missing_dir(self, tmp_path):
+        assert exporters.latest_snapshot(str(tmp_path / "nope")) is None
+
+    def test_latest_snapshot_skips_unreadable(self, tmp_path):
+        directory = str(tmp_path)
+        good = exporters.write_snapshot(
+            populated_registry(), directory=directory, filename="good.json"
+        )
+        bad = tmp_path / "zz-newer.json"
+        bad.write_text("{not json")
+        os.utime(bad, (9999999999, 9999999999))
+        found = exporters.latest_snapshot(directory)
+        assert found is not None and found[0] == good

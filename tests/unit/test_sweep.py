@@ -102,6 +102,52 @@ class TestServing:
         ]
 
 
+class TestSweepStatsSummary:
+    def test_base_line_only(self):
+        stats = sweep.SweepStats(total=4, from_cache=1, from_store=1,
+                                 executed_parallel=1, executed_serial=1)
+        assert stats.summary() == (
+            "4 jobs: 1 cached, 1 from store, 1 simulated in workers, "
+            "1 simulated serially"
+        )
+
+    def test_robustness_counters_appear_only_when_nonzero(self):
+        stats = sweep.SweepStats(total=2, retries=3, timeouts=1,
+                                 pool_failures=2, serial_fallbacks=1)
+        line = stats.summary()
+        assert "3 retried" in line
+        assert "1 timed out" in line
+        assert "2 pool failures" in line
+        assert "1 serial fallbacks" in line
+
+    def test_store_section_appears_with_store_activity(self):
+        stats = sweep.SweepStats(total=3, store_hits=2, store_misses=1,
+                                 store_puts=1)
+        assert "store: 2 hits / 1 misses, 1 written" in stats.summary()
+        assert "corrupt" not in stats.summary()
+
+    def test_store_corruption_is_called_out(self):
+        stats = sweep.SweepStats(total=1, store_misses=1, store_errors=1,
+                                 store_puts=1)
+        assert "1 corrupt" in stats.summary()
+
+    def test_no_store_activity_no_store_section(self):
+        assert "store:" not in sweep.SweepStats(total=2, from_cache=2).summary()
+
+    def test_describe_is_an_alias(self):
+        stats = sweep.SweepStats(total=1, from_cache=1)
+        assert stats.describe() == stats.summary()
+
+    def test_run_jobs_populates_store_delta(self):
+        out = sweep.run_jobs([sweep.Job("tonto", "NP", accesses=ACCESSES)])
+        assert out.stats.store_misses == 1
+        assert out.stats.store_puts == 1
+        runner.clear_cache()
+        again = sweep.run_jobs([sweep.Job("tonto", "NP", accesses=ACCESSES)])
+        assert again.stats.store_hits == 1
+        assert again.stats.store_puts == 0
+
+
 class TestRobustness:
     def test_crashing_worker_falls_back_to_serial(self):
         out = sweep.run_jobs(
