@@ -32,10 +32,12 @@ SIM_PACKAGES: Set[str] = {
 HOT_PACKAGES: Set[str] = {"controller", "dram", "prefetch"}
 
 #: Modules allowlisted for wall-clock use: the tracer self-measures its
-#: overhead, the perf harness times the host, and the observability
-#: package timestamps fleet-level records (snapshots, post-mortems,
-#: uptime) — all host-side concerns, never simulated time.
-WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py", "repro/obs/")
+#: overhead, the perf harness times the host, the observability package
+#: timestamps fleet-level records (snapshots, post-mortems, uptime),
+#: and the fabric's lease timers/heartbeats measure real elapsed time —
+#: all host-side concerns, never simulated time.
+WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py", "repro/obs/",
+                       "repro/fabric/")
 
 
 class Rule:

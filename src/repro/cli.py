@@ -15,6 +15,11 @@ Commands:
   export/print the epoch-resolved series (see docs/telemetry.md)
 * ``obs``       — fleet observability: ``obs serve`` exposes the
   metrics snapshots of past sweeps over HTTP (docs/observability.md)
+* ``fabric``    — distributed sweeps (docs/fabric.md): ``fabric
+  serve`` runs the coordinator daemon, ``fabric work`` a worker agent,
+  ``fabric submit`` sends a grid over HTTP (``--watch`` polls it to
+  completion and prints the sweep table), ``fabric status`` inspects
+  the fleet
 * ``lint``      — simulator-invariant static analysis (determinism,
   dual-path parity, cycle accounting, stat-key registry, hot-path
   hygiene; see docs/linting.md)
@@ -182,6 +187,68 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dir", dest="directory", default=None,
                        help="snapshot directory (default "
                             ".repro-results/metrics)")
+
+    fabric = sub.add_parser(
+        "fabric", help="distributed sweep fabric (docs/fabric.md)"
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    fserve = fabric_sub.add_parser(
+        "serve", help="run the coordinator daemon"
+    )
+    fserve.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    fserve.add_argument("--port", type=int, default=8765,
+                        help="TCP port to bind (default 8765, 0 = OS pick)")
+    fserve.add_argument("--lease-seconds", type=float, default=60.0,
+                        help="worker lease duration (default 60)")
+    fserve.add_argument("--max-attempts", type=int, default=3,
+                        help="lease grants per job before it fails "
+                             "permanently (default 3)")
+    fserve.add_argument("--verbose", action="store_true",
+                        help="log scheduling events to stderr")
+
+    fwork = fabric_sub.add_parser("work", help="run one worker agent")
+    fwork.add_argument("--coordinator", required=True, metavar="URL",
+                       help="coordinator base URL, e.g. http://host:8765")
+    fwork.add_argument("--id", dest="worker_id", default=None,
+                       help="worker id (default <hostname>-<pid>)")
+    fwork.add_argument("--capacity", type=int, default=2,
+                       help="jobs leased per batch (default 2)")
+    fwork.add_argument("--poll", type=float, default=1.0, metavar="SECONDS",
+                       help="idle poll interval (default 1.0)")
+    fwork.add_argument("--drain-idle", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit after this long with an empty queue "
+                            "(default: run until SIGTERM)")
+    fwork.add_argument("--verbose", action="store_true",
+                       help="log worker events to stderr")
+
+    fsubmit = fabric_sub.add_parser(
+        "submit", help="submit a grid to a coordinator over HTTP"
+    )
+    fsubmit.add_argument("--coordinator", required=True, metavar="URL")
+    fsubmit.add_argument("-s", "--suite", choices=sorted(SUITES),
+                         help="submit a whole suite")
+    fsubmit.add_argument("-b", "--benchmarks", nargs="+", metavar="BENCH",
+                         help="submit an explicit benchmark list")
+    fsubmit.add_argument("-c", "--configs", nargs="+", metavar="CONFIG",
+                         default=list(CONFIG_NAMES),
+                         help="configurations (default: NP PS MS PMS)")
+    fsubmit.add_argument("--priority", type=int, default=0,
+                         help="queue priority (higher runs first)")
+    fsubmit.add_argument("--watch", action="store_true",
+                         help="poll until done and print the sweep table")
+    fsubmit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                         help="--watch poll interval (default 0.5)")
+    common(fsubmit)
+
+    fstatus = fabric_sub.add_parser(
+        "status", help="fleet status (or one sweep with --sweep)"
+    )
+    fstatus.add_argument("--coordinator", required=True, metavar="URL")
+    fstatus.add_argument("--sweep", default=None, metavar="ID",
+                         help="show one sweep instead of the fleet")
 
     lint = sub.add_parser(
         "lint", help="simulator-invariant static analysis (docs/linting.md)"
@@ -370,10 +437,8 @@ def _cmd_sweep(args) -> int:
         else os.cpu_count() or 1
     )
     configs = list(args.configs)
-    specs = [
-        sweep.Job(b, c, accesses=args.accesses, seed=args.seed)
-        for b in benchmarks for c in configs
-    ]
+    specs = sweep.expand_grid(benchmarks, configs, accesses=args.accesses,
+                              seed=args.seed)
     # The sweep CLI always runs with fleet metrics on: the registry is
     # cheap at this granularity and feeds the snapshot + live endpoint.
     registry = metrics.MetricsRegistry(enabled=True)
@@ -408,18 +473,9 @@ def _cmd_sweep(args) -> int:
     by_bench = {}
     for spec, result in zip(specs, outcome.results):
         by_bench.setdefault(spec.benchmark, {})[spec.config_name] = result
-    baseline_name = configs[0] if "NP" not in configs else "NP"
-    rows = []
-    for b in benchmarks:
-        base = by_bench[b][baseline_name]
-        for c in configs:
-            r = by_bench[b][c]
-            rows.append([b, c, r.cycles, r.gain_vs(base), r.coverage * 100])
     print(
-        format_table(
-            ["benchmark", "config", "MC cycles",
-             f"gain vs {baseline_name} %", "coverage %"],
-            rows,
+        _grid_table(
+            benchmarks, configs, by_bench,
             title=(f"sweep: {len(benchmarks)} benchmarks x "
                    f"{len(configs)} configs ({args.accesses} accesses, "
                    f"jobs={max(1, jobs)})"),
@@ -433,6 +489,23 @@ def _cmd_sweep(args) -> int:
         print(f"  store: {len(st)} entries at {st.root}")
     print(f"  metrics snapshot: {snapshot_path}")
     return 0
+
+
+def _grid_table(benchmarks, configs, by_bench, title) -> str:
+    """The benchmarks x configs result table shared by sweep and fabric."""
+    baseline_name = configs[0] if "NP" not in configs else "NP"
+    rows = []
+    for b in benchmarks:
+        base = by_bench[b][baseline_name]
+        for c in configs:
+            r = by_bench[b][c]
+            rows.append([b, c, r.cycles, r.gain_vs(base), r.coverage * 100])
+    return format_table(
+        ["benchmark", "config", "MC cycles",
+         f"gain vs {baseline_name} %", "coverage %"],
+        rows,
+        title=title,
+    )
 
 
 def _cmd_obs(args) -> int:
@@ -449,6 +522,107 @@ def _cmd_obs(args) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _fabric_logging(verbose: bool) -> None:
+    import logging
+
+    if verbose:
+        logging.basicConfig(
+            level=logging.INFO, stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(logging.INFO)
+
+
+def _cmd_fabric(args) -> int:
+    import json
+
+    if args.fabric_command == "serve":
+        from repro.fabric.coordinator import serve
+
+        _fabric_logging(args.verbose)
+        coordinator, server = serve(
+            host=args.host, port=args.port,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+        )
+        print(f"fabric coordinator on {server.url} "
+              f"(store: {coordinator.store.root})")
+        print("endpoints: /v1/sweeps /v1/lease /v1/complete /v1/heartbeat "
+              "/v1/status /metrics /healthz /progress (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+
+    if args.fabric_command == "work":
+        from repro.fabric.agent import WorkerAgent
+
+        _fabric_logging(args.verbose)
+        agent = WorkerAgent(
+            args.coordinator,
+            worker_id=args.worker_id,
+            capacity=args.capacity,
+            poll_seconds=args.poll,
+            drain_idle_seconds=args.drain_idle,
+        )
+        agent.install_signal_handlers()
+        totals = agent.run()
+        print(f"worker {agent.worker_id}: "
+              f"{totals['executed']} executed, {totals['store']} from store, "
+              f"{totals['errors']} errors in {totals['batches']} batch(es)")
+        return 0
+
+    from repro.fabric.client import FabricClient
+
+    client = FabricClient(args.coordinator)
+    if args.fabric_command == "submit":
+        if args.benchmarks:
+            benchmarks = list(args.benchmarks)
+        elif args.suite:
+            benchmarks = list(SUITES[args.suite])
+        else:
+            print("fabric submit: pass --suite or --benchmarks",
+                  file=sys.stderr)
+            return 2
+        configs = list(args.configs)
+        accepted = client.submit(
+            benchmarks, configs, accesses=args.accesses, seed=args.seed,
+            priority=args.priority,
+        )
+        sweep_id = accepted["sweep"]
+        print(f"accepted {sweep_id}: {accepted['total']} jobs, "
+              f"{accepted['deduped']} already in store, "
+              f"{accepted['queued']} queued")
+        if not args.watch:
+            return 0
+        status = client.watch(sweep_id, poll_seconds=args.poll)
+        failed = status.get("failed", [])
+        by_bench = client.fetch_suite(sweep_id)
+        if all(c in by_bench.get(b, {}) for b in benchmarks for c in configs):
+            print(
+                _grid_table(
+                    benchmarks, configs, by_bench,
+                    title=(f"fabric {sweep_id}: {len(benchmarks)} benchmarks "
+                           f"x {len(configs)} configs "
+                           f"({args.accesses} accesses)"),
+                )
+            )
+        for failure in failed:
+            print(f"  FAILED {failure['key']}: {failure['error']}",
+                  file=sys.stderr)
+        return 1 if failed else 0
+
+    # fabric status
+    document = (
+        client.sweep_status(args.sweep) if args.sweep else client.status()
+    )
+    print(json.dumps(document, indent=2, sort_keys=True))
     return 0
 
 
@@ -542,6 +716,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": lambda: _cmd_cost(args),
         "telemetry": lambda: _cmd_telemetry(args),
         "obs": lambda: _cmd_obs(args),
+        "fabric": lambda: _cmd_fabric(args),
         "lint": lambda: _cmd_lint(args),
     }
     return handlers[args.command]()

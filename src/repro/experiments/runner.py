@@ -279,18 +279,14 @@ def run_suite(
     if sweepable:
         from repro.experiments import sweep
 
-        specs = [
-            sweep.Job(
-                benchmark=b,
-                config_name=c,
-                accesses=kwargs.get("accesses"),
-                seed=kwargs.get("seed"),
-                threads=kwargs.get("threads", 1),
-                scheduler=kwargs.get("scheduler", "ahb"),
-            )
-            for b in benchmarks
-            for c in config_names
-        ]
+        specs = sweep.expand_grid(
+            benchmarks,
+            config_names,
+            accesses=kwargs.get("accesses"),
+            seed=kwargs.get("seed"),
+            threads=kwargs.get("threads", 1),
+            scheduler=kwargs.get("scheduler", "ahb"),
+        )
         outcome = sweep.run_jobs(
             specs, jobs=jobs, timeout=timeout,
             use_store=kwargs.get("use_store"),
@@ -318,12 +314,14 @@ def preload_store(use_store: Optional[bool] = None) -> int:
     Loads every stored, fingerprint-verified, unmutated result into the
     run cache so a whole session (e.g. the benchmark suite) starts hot.
     Entries whose config fingerprint no longer matches the current
-    preset definitions are skipped — never served stale.  Returns the
-    number of runs loaded.
+    preset definitions are skipped — never served stale.  Also reaps
+    aged-out ``.tmp-*`` orphans left by writers killed mid-put.
+    Returns the number of runs loaded.
     """
     active_store = _store_for(use_store)
     if active_store is None:
         return 0
+    active_store.sweep_orphans()
     fingerprints: Dict[Tuple[str, int, str], Optional[str]] = {}
     loaded = 0
     for spec, result in active_store.entries():

@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.common.config import SystemConfig
@@ -45,6 +46,10 @@ STORE_VERSION = 2
 
 #: Default store location, relative to the working directory.
 DEFAULT_ROOT = ".repro-results"
+
+#: Orphaned ``.tmp-*`` files younger than this are presumed to belong
+#: to a live writer and are left alone (see ResultStore.sweep_orphans).
+ORPHAN_MIN_AGE_SECONDS = 3600.0
 
 
 def store_root() -> str:
@@ -261,6 +266,37 @@ class ResultStore:
             )
         except OSError:
             return 0
+
+    def sweep_orphans(
+        self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS
+    ) -> int:
+        """Remove ``.tmp-*`` files abandoned by killed writers.
+
+        :meth:`put` stages every entry as a same-directory ``.tmp-*``
+        temp file before ``os.replace``-ing it into place; a writer
+        killed between the two leaves the temp file behind forever
+        (``entries``/``clear`` skip dot-files).  Startup paths —
+        ``runner.preload_store`` and the fabric coordinator — call this
+        to reap them.  The age guard keeps temp files of concurrent
+        in-flight writers safe; returns the number removed.
+        """
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        cutoff = time.time() - min_age_seconds
+        for name in names:
+            if not name.startswith(".tmp-"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) <= cutoff:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

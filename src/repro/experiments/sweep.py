@@ -49,7 +49,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from time import perf_counter
 from time import time as _wall_time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.experiments import runner, store
@@ -96,6 +96,72 @@ class Job:
             accesses=runner.resolve_accesses(self.accesses),
             seed=runner.default_seed() if self.seed is None else self.seed,
         )
+
+
+def expand_grid(
+    benchmarks: Sequence[str],
+    config_names: Sequence[str],
+    accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+    threads: int = 1,
+    scheduler: str = "ahb",
+) -> List[Job]:
+    """Expand a benchmarks x configs grid into unresolved :class:`Job` specs.
+
+    This is the single grid-expansion rule shared by
+    :func:`runner.run_suite`, the ``repro sweep`` CLI, and the fabric
+    coordinator (:mod:`repro.fabric`): benchmark-major, config-minor
+    order, so results align positionally with the nested suite dict.
+    """
+    return [
+        Job(benchmark=b, config_name=c, accesses=accesses, seed=seed,
+            threads=threads, scheduler=scheduler)
+        for b in benchmarks
+        for c in config_names
+    ]
+
+
+def prepare(job: Job) -> Tuple["Job", Tuple, Dict[str, object], SystemConfig]:
+    """Resolve one job and derive its three identities.
+
+    Returns ``(resolved job, in-process cache key, store spec, built
+    config)``.  The store spec embeds a fingerprint of the built config,
+    which is what makes job keys portable: any process (local worker,
+    remote fabric agent, coordinator) that prepares the same job from
+    the same code arrives at the same SHA-256 key.
+    """
+    job = job.resolve()
+    key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
+                           job.seed, job.threads, job.scheduler,
+                           job.mutate_key)
+    config = make_config(job.config_name, threads=job.threads,
+                         scheduler=job.scheduler)
+    spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
+                          job.seed, job.threads, job.scheduler,
+                          job.mutate_key, config)
+    return job, key, spec, config
+
+
+def lookup(
+    key: Tuple,
+    spec: Mapping[str, object],
+    active_store: Optional[store.ResultStore],
+) -> Tuple[Optional[RunResult], Optional[str]]:
+    """Two-layer read-through shared by the local and fabric paths.
+
+    Checks the in-process cache, then the on-disk store (seeding the
+    cache on a store hit).  Returns ``(result, source)`` where source is
+    ``"cache"``, ``"store"``, or ``None`` when the job must execute.
+    """
+    cached = runner.cached_result(key)
+    if cached is not None:
+        return cached, "cache"
+    if active_store is not None:
+        stored = active_store.get(spec)
+        if stored is not None:
+            runner.seed_cache(key, stored)
+            return stored, "store"
+    return None, None
 
 
 @dataclass
@@ -345,29 +411,17 @@ def run_jobs(
     try:
         pending: List[_Pending] = []
         for index, job in enumerate(specs):
-            job = job.resolve()
-            key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
-                                   job.seed, job.threads, job.scheduler,
-                                   job.mutate_key)
-            cached = runner.cached_result(key)
-            if cached is not None:
-                results[index] = cached
-                stats.from_cache += 1
-                obs.job_done("cached")
-                continue
-            config = make_config(job.config_name, threads=job.threads,
-                                 scheduler=job.scheduler)
-            spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
-                                  job.seed, job.threads, job.scheduler,
-                                  job.mutate_key, config)
-            if active_store is not None:
-                stored = active_store.get(spec)
-                if stored is not None:
-                    results[index] = stored
-                    runner.seed_cache(key, stored)
+            job, key, spec, config = prepare(job)
+            found, source = lookup(key, spec, active_store)
+            if found is not None:
+                results[index] = found
+                if source == "cache":
+                    stats.from_cache += 1
+                    obs.job_done("cached")
+                else:
                     stats.from_store += 1
                     obs.job_done("store")
-                    continue
+                continue
             pending.append((index, job, key, spec, config))
 
         if pending:

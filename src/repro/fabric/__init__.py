@@ -1,0 +1,43 @@
+"""repro.fabric — distributed sweep coordinator and worker agents.
+
+The paper's result grids are embarrassingly parallel, but the local
+sweep engine (:mod:`repro.experiments.sweep`) is bounded by one host's
+process pool.  This package scales the same job model across hosts:
+
+* :mod:`repro.fabric.coordinator` — a long-lived HTTP daemon that
+  accepts grid submissions (``POST /v1/sweeps``), expands them with the
+  sweep engine's own :func:`~repro.experiments.sweep.expand_grid`,
+  dedupes against the content-addressed result store, and hands the
+  rest out as leases (``POST /v1/lease`` / ``/v1/complete`` /
+  ``/v1/heartbeat``) that expire and re-queue on worker death;
+* :mod:`repro.fabric.agent` — the worker loop wrapping the same
+  :func:`~repro.experiments.runner.simulate_job` path local sweeps run,
+  with heartbeats, graceful drain on SIGTERM, and backoff while the
+  coordinator is unreachable;
+* :mod:`repro.fabric.protocol` — the versioned JSON wire types, built
+  on the store's lossless result codec and SHA-256 job keys so a result
+  computed anywhere lands in any store shard under the same key;
+* :mod:`repro.fabric.state` — the coordinator's pure bookkeeping
+  (priority queue, leases, sweep life-cycles) with an injectable clock;
+* :mod:`repro.fabric.client` — the submit/watch/fetch API behind the
+  ``repro fabric`` CLI family.
+
+Everything is standard library only.  See docs/fabric.md.
+"""
+
+from repro.fabric.agent import WorkerAgent
+from repro.fabric.client import CoordinatorUnavailable, FabricClient
+from repro.fabric.coordinator import Coordinator, CoordinatorServer
+from repro.fabric.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.fabric.state import CoordinatorState
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorServer",
+    "CoordinatorState",
+    "CoordinatorUnavailable",
+    "FabricClient",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WorkerAgent",
+]

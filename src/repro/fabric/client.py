@@ -1,0 +1,203 @@
+"""Client API for the fabric coordinator: submit, watch, fetch.
+
+:class:`FabricClient` wraps the coordinator's HTTP API with plain
+urllib (no dependencies) and the wire codec from
+:mod:`repro.fabric.protocol`.  The worker agent reuses the same
+transport for leasing and completion, so every process talks to the
+coordinator through one code path.
+
+Error model: a 4xx answer (protocol violation, unknown sweep) raises
+:class:`~repro.fabric.protocol.ProtocolError`; anything that looks like
+an unreachable or dying coordinator (connection refused, timeouts,
+5xx) raises :class:`CoordinatorUnavailable`, which callers treat as
+retryable — the agent backs off and retries, ``watch`` keeps polling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments import store
+from repro.fabric import protocol
+from repro.system.results import RunResult
+
+
+class CoordinatorUnavailable(OSError):
+    """The coordinator could not be reached (retryable)."""
+
+
+def http_json(
+    url: str,
+    document: Optional[Mapping[str, object]] = None,
+    timeout: float = 10.0,
+) -> Dict[str, object]:
+    """One JSON round-trip: GET when ``document`` is None, else POST."""
+    data = (
+        None
+        if document is None
+        else json.dumps(document).encode("utf-8")
+    )
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(body).get("error", body)
+        except ValueError:
+            message = body
+        if 400 <= exc.code < 500:
+            raise protocol.ProtocolError(
+                f"{url} -> {exc.code}: {message}"
+            ) from None
+        raise CoordinatorUnavailable(f"{url} -> {exc.code}: {message}") from None
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as exc:
+        raise CoordinatorUnavailable(f"{url}: {exc}") from None
+    except ValueError as exc:  # non-JSON body
+        raise protocol.ProtocolError(f"{url} answered non-JSON: {exc}") from None
+
+
+class FabricClient:
+    """Talk to one coordinator (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self, path: str, document: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        return http_json(self.url + path, document, timeout=self.timeout)
+
+    # -- submission / watching -----------------------------------------
+    def submit(
+        self,
+        benchmarks: Sequence[str],
+        configs: Sequence[str],
+        accesses: Optional[int] = None,
+        seed: Optional[int] = None,
+        threads: int = 1,
+        scheduler: str = "ahb",
+        priority: int = 0,
+    ) -> Dict[str, object]:
+        """Submit a grid; returns the ``sweep_accepted`` document."""
+        request = protocol.sweep_request(
+            benchmarks, configs, accesses=accesses, seed=seed,
+            threads=threads, scheduler=scheduler, priority=priority,
+        )
+        reply = self._call("/v1/sweeps", request)
+        protocol.check_envelope(reply, "sweep_accepted")
+        return dict(reply)
+
+    def sweep_status(
+        self, sweep_id: str, include_results: bool = False
+    ) -> Dict[str, object]:
+        suffix = "?results=1" if include_results else ""
+        return self._call(f"/v1/sweeps/{sweep_id}{suffix}")
+
+    def status(self) -> Dict[str, object]:
+        return self._call("/v1/status")
+
+    def health(self) -> Dict[str, object]:
+        return self._call("/healthz")
+
+    def progress(self) -> Dict[str, object]:
+        return self._call("/progress.json")
+
+    def watch(
+        self,
+        sweep_id: str,
+        poll_seconds: float = 0.5,
+        timeout: Optional[float] = None,
+        on_update: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> Dict[str, object]:
+        """Poll until the sweep finishes (all jobs done or failed).
+
+        Transient coordinator outages are retried until ``timeout``
+        (None = wait forever); raises :class:`TimeoutError` past it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                status = self.sweep_status(sweep_id)
+            except CoordinatorUnavailable:
+                status = None
+            if status is not None:
+                if on_update is not None:
+                    on_update(status)
+                counts = status.get("counts", {})
+                settled = counts.get("done", 0) + counts.get("failed", 0)
+                if settled >= status.get("total", 0):
+                    return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} not finished after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def fetch_results(
+        self, sweep_id: str
+    ) -> List[Tuple[str, str, Optional[RunResult]]]:
+        """``(benchmark, config, result)`` per job, submission order.
+
+        Results decode through the store codec — field-for-field what a
+        local run would have produced.  Failed jobs yield None.
+        """
+        status = self.sweep_status(sweep_id, include_results=True)
+        rows = []
+        for row in status.get("results", []):
+            payload = row.get("result")
+            rows.append(
+                (
+                    row["benchmark"],
+                    row["config"],
+                    store.decode_result(payload) if payload else None,
+                )
+            )
+        return rows
+
+    def fetch_suite(
+        self, sweep_id: str
+    ) -> Dict[str, Dict[str, RunResult]]:
+        """Results shaped like :func:`repro.experiments.runner.run_suite`."""
+        suite: Dict[str, Dict[str, RunResult]] = {}
+        for benchmark, config, result in self.fetch_results(sweep_id):
+            if result is not None:
+                suite.setdefault(benchmark, {})[config] = result
+        return suite
+
+    # -- worker transport (used by the agent) --------------------------
+    def lease(
+        self, worker: str, capacity: int
+    ) -> Tuple[Optional[str], List[Tuple[str, object]], float]:
+        reply = self._call(
+            "/v1/lease", protocol.lease_request(worker, capacity)
+        )
+        return protocol.parse_lease_grant(reply)
+
+    def complete(
+        self,
+        worker: str,
+        lease_id: Optional[str],
+        items: Sequence[Mapping[str, object]],
+        metrics: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, object]:
+        reply = self._call(
+            "/v1/complete",
+            protocol.complete_report(worker, lease_id, items, metrics),
+        )
+        protocol.check_envelope(reply, "complete_ack")
+        return dict(reply)
+
+    def heartbeat(self, worker: str, lease_id: str) -> bool:
+        reply = self._call(
+            "/v1/heartbeat", protocol.heartbeat(worker, lease_id)
+        )
+        return bool(reply.get("alive"))

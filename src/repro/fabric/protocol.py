@@ -1,0 +1,343 @@
+"""Versioned JSON wire protocol between coordinator, workers, clients.
+
+Every message is a JSON object carrying ``{"protocol": N, "kind": K}``;
+:func:`check_envelope` rejects version or kind mismatches up front, so
+a skewed peer fails loudly instead of corrupting the queue.
+
+Job identity is *not* negotiated over the wire: both sides derive it
+independently.  A job travels as its five resolved fields (benchmark,
+config, accesses, seed, threads, scheduler); each side runs it through
+:func:`repro.experiments.sweep.prepare`, which rebuilds the
+:class:`~repro.common.config.SystemConfig` from the named preset and
+fingerprints it into the store spec.  The SHA-256
+:func:`repro.experiments.store.job_key` over that spec is therefore
+identical on every host running the same code — a worker detecting a
+key mismatch against its lease is detecting *code* skew, and reports an
+error instead of storing a result under a wrong identity.  Results ride
+the store's lossless codec (:func:`~repro.experiments.store.
+encode_result`), so a payload computed remotely decodes field-for-field
+equal to a local run.
+
+Messages (all ``POST`` bodies/responses; see docs/fabric.md):
+
+* ``sweep_request`` / ``sweep_accepted`` — submit a grid (or explicit
+  job list); answer with sweep id + dedupe counts.
+* ``lease_request`` / ``lease_grant``    — claim up to ``capacity``
+  queued jobs under one expiring lease.
+* ``complete_report`` / ``complete_ack`` — return executed results
+  (or per-job errors) plus a worker-side metrics delta.
+* ``heartbeat`` / ``heartbeat_ack``      — extend a lease while a
+  batch is still executing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments import sweep
+
+#: Bumped on any incompatible wire change; both sides refuse mismatches.
+PROTOCOL_VERSION = 1
+
+#: Job fields as they appear on the wire (store-spec naming).
+_JOB_WIRE_FIELDS = ("benchmark", "config", "accesses", "seed", "threads",
+                    "scheduler")
+
+
+class ProtocolError(ValueError):
+    """A message that violates the wire protocol (version, shape, type)."""
+
+
+def envelope(kind: str, **fields: object) -> Dict[str, object]:
+    """A new message of ``kind`` with the version stamp applied."""
+    message: Dict[str, object] = {"protocol": PROTOCOL_VERSION, "kind": kind}
+    message.update(fields)
+    return message
+
+
+def check_envelope(
+    document: object, kind: str
+) -> Mapping[str, object]:
+    """Validate the version stamp and kind; returns the document."""
+    if not isinstance(document, Mapping):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(document).__name__}"
+        )
+    version = document.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, this "
+            f"build speaks {PROTOCOL_VERSION}"
+        )
+    if document.get("kind") != kind:
+        raise ProtocolError(
+            f"expected message kind {kind!r}, got {document.get('kind')!r}"
+        )
+    return document
+
+
+def _require(document: Mapping[str, object], field: str, types, kind: str):
+    value = document.get(field)
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ProtocolError(
+            f"{kind}.{field} must be {getattr(types, '__name__', types)}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+# -- jobs ---------------------------------------------------------------
+def encode_job(job: sweep.Job) -> Dict[str, object]:
+    """Wire form of one *resolved* job (store-spec field names)."""
+    if job.accesses is None or job.seed is None:
+        raise ProtocolError(
+            "jobs must be resolved (accesses and seed filled in) before "
+            "they go on the wire — env-backed defaults differ per host"
+        )
+    return {
+        "benchmark": job.benchmark,
+        "config": job.config_name,
+        "accesses": job.accesses,
+        "seed": job.seed,
+        "threads": job.threads,
+        "scheduler": job.scheduler,
+    }
+
+
+def decode_job(payload: object) -> sweep.Job:
+    """Inverse of :func:`encode_job`, with field validation."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"job must be a JSON object, got {payload!r}")
+    unknown = set(payload) - set(_JOB_WIRE_FIELDS)
+    if unknown:
+        raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+    return sweep.Job(
+        benchmark=_require(payload, "benchmark", str, "job"),
+        config_name=_require(payload, "config", str, "job"),
+        accesses=_require(payload, "accesses", int, "job"),
+        seed=_require(payload, "seed", int, "job"),
+        threads=_require(payload, "threads", int, "job"),
+        scheduler=_require(payload, "scheduler", str, "job"),
+    )
+
+
+# -- sweep submission ---------------------------------------------------
+def sweep_request(
+    benchmarks: Sequence[str],
+    configs: Sequence[str],
+    accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+    threads: int = 1,
+    scheduler: str = "ahb",
+    priority: int = 0,
+) -> Dict[str, object]:
+    """A grid submission: benchmarks x configs, local-sweep semantics."""
+    return envelope(
+        "sweep_request",
+        benchmarks=list(benchmarks),
+        configs=list(configs),
+        accesses=accesses,
+        seed=seed,
+        threads=threads,
+        scheduler=scheduler,
+        priority=priority,
+    )
+
+
+def parse_sweep_request(
+    document: object,
+) -> Tuple[List[sweep.Job], int]:
+    """Expand a submission into (unresolved) jobs plus its priority.
+
+    Accepts either the grid form (``benchmarks`` x ``configs``) or an
+    explicit ``jobs`` list of wire-form job objects.  Grid expansion is
+    the sweep engine's own :func:`~repro.experiments.sweep.expand_grid`,
+    so a fabric sweep covers exactly the cells a local ``run_suite``
+    would.
+    """
+    document = check_envelope(document, "sweep_request")
+    priority = document.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(f"priority must be an int, got {priority!r}")
+    if document.get("jobs") is not None:
+        jobs_field = document["jobs"]
+        if not isinstance(jobs_field, Sequence) or isinstance(jobs_field, str):
+            raise ProtocolError("sweep_request.jobs must be a list")
+        jobs = [decode_job(item) for item in jobs_field]
+    else:
+        benchmarks = document.get("benchmarks")
+        configs = document.get("configs")
+        for name, value in (("benchmarks", benchmarks), ("configs", configs)):
+            if (
+                not isinstance(value, Sequence)
+                or isinstance(value, str)
+                or not value
+                or not all(isinstance(item, str) for item in value)
+            ):
+                raise ProtocolError(
+                    f"sweep_request.{name} must be a non-empty list of "
+                    f"strings, got {value!r}"
+                )
+        for name in ("accesses", "seed"):
+            value = document.get(name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ProtocolError(
+                    f"sweep_request.{name} must be an int or null, got "
+                    f"{value!r}"
+                )
+        jobs = sweep.expand_grid(
+            benchmarks,
+            configs,
+            accesses=document.get("accesses"),
+            seed=document.get("seed"),
+            threads=document.get("threads", 1),
+            scheduler=document.get("scheduler", "ahb"),
+        )
+    if not jobs:
+        raise ProtocolError("sweep_request expands to zero jobs")
+    return jobs, priority
+
+
+# -- leasing ------------------------------------------------------------
+def lease_request(worker: str, capacity: int) -> Dict[str, object]:
+    """A worker's claim for up to ``capacity`` queued jobs."""
+    return envelope("lease_request", worker=worker, capacity=capacity)
+
+
+def parse_lease_request(document: object) -> Tuple[str, int]:
+    """Validate a lease request; returns ``(worker, capacity)``."""
+    document = check_envelope(document, "lease_request")
+    worker = _require(document, "worker", str, "lease_request")
+    capacity = _require(document, "capacity", int, "lease_request")
+    if capacity < 1:
+        raise ProtocolError(f"lease capacity must be >= 1, got {capacity}")
+    return worker, capacity
+
+
+def lease_grant(
+    lease_id: Optional[str],
+    jobs: Sequence[Tuple[str, sweep.Job]],
+    lease_seconds: float,
+) -> Dict[str, object]:
+    """``lease_id`` None (with no jobs) means "nothing queued right now"."""
+    return envelope(
+        "lease_grant",
+        lease=lease_id,
+        lease_seconds=lease_seconds,
+        jobs=[{"key": key, "job": encode_job(job)} for key, job in jobs],
+    )
+
+
+def parse_lease_grant(
+    document: object,
+) -> Tuple[Optional[str], List[Tuple[str, sweep.Job]], float]:
+    """Inverse of :func:`lease_grant`: ``(lease id, jobs, seconds)``."""
+    document = check_envelope(document, "lease_grant")
+    lease_id = document.get("lease")
+    if lease_id is not None and not isinstance(lease_id, str):
+        raise ProtocolError(f"lease id must be a string, got {lease_id!r}")
+    jobs_field = document.get("jobs", [])
+    if not isinstance(jobs_field, Sequence) or isinstance(jobs_field, str):
+        raise ProtocolError("lease_grant.jobs must be a list")
+    jobs: List[Tuple[str, sweep.Job]] = []
+    for item in jobs_field:
+        if not isinstance(item, Mapping):
+            raise ProtocolError("lease_grant job entry must be an object")
+        key = _require(item, "key", str, "lease_grant.jobs")
+        jobs.append((key, decode_job(item.get("job"))))
+    lease_seconds = document.get("lease_seconds", 0.0)
+    if not isinstance(lease_seconds, (int, float)) or isinstance(
+        lease_seconds, bool
+    ):
+        raise ProtocolError(
+            f"lease_seconds must be a number, got {lease_seconds!r}"
+        )
+    return lease_id, jobs, float(lease_seconds)
+
+
+# -- completion ---------------------------------------------------------
+def complete_report(
+    worker: str,
+    lease_id: Optional[str],
+    items: Sequence[Mapping[str, object]],
+    metrics: Optional[Mapping[str, float]] = None,
+) -> Dict[str, object]:
+    """Results of one batch: per-job outcome plus a metrics delta.
+
+    Each item is ``{"key": ..., "result": <encoded>|None, "outcome":
+    "executed"|"store", "seconds": float|None, "error": str|None}``.
+    """
+    return envelope(
+        "complete_report",
+        worker=worker,
+        lease=lease_id,
+        items=[dict(item) for item in items],
+        metrics=dict(metrics) if metrics else {},
+    )
+
+
+def parse_complete_report(
+    document: object,
+) -> Tuple[str, Optional[str], List[Dict[str, object]], Dict[str, float]]:
+    """Validate a batch report: ``(worker, lease id, items, metrics)``.
+
+    Every item must carry a result or an error; non-numeric metric
+    values are dropped rather than rejected.
+    """
+    document = check_envelope(document, "complete_report")
+    worker = _require(document, "worker", str, "complete_report")
+    lease_id = document.get("lease")
+    if lease_id is not None and not isinstance(lease_id, str):
+        raise ProtocolError(f"lease id must be a string, got {lease_id!r}")
+    items_field = document.get("items")
+    if not isinstance(items_field, Sequence) or isinstance(items_field, str):
+        raise ProtocolError("complete_report.items must be a list")
+    items: List[Dict[str, object]] = []
+    for item in items_field:
+        if not isinstance(item, Mapping):
+            raise ProtocolError("complete_report item must be an object")
+        key = _require(item, "key", str, "complete_report.items")
+        result = item.get("result")
+        error = item.get("error")
+        if result is None and error is None:
+            raise ProtocolError(
+                f"complete_report item {key} carries neither result nor error"
+            )
+        if result is not None and not isinstance(result, Mapping):
+            raise ProtocolError(f"result for {key} must be an object")
+        if error is not None and not isinstance(error, str):
+            raise ProtocolError(f"error for {key} must be a string")
+        items.append(
+            {
+                "key": key,
+                "result": dict(result) if result is not None else None,
+                "error": error,
+                "outcome": item.get("outcome", "executed"),
+                "seconds": item.get("seconds"),
+            }
+        )
+    metrics_field = document.get("metrics", {})
+    if not isinstance(metrics_field, Mapping):
+        raise ProtocolError("complete_report.metrics must be an object")
+    metrics = {
+        str(name): float(value) for name, value in metrics_field.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return worker, lease_id, items, metrics
+
+
+# -- heartbeat ----------------------------------------------------------
+def heartbeat(worker: str, lease_id: str) -> Dict[str, object]:
+    """A keep-alive extending ``lease_id`` while a batch executes."""
+    return envelope("heartbeat", worker=worker, lease=lease_id)
+
+
+def parse_heartbeat(document: object) -> Tuple[str, str]:
+    """Validate a heartbeat; returns ``(worker, lease id)``."""
+    document = check_envelope(document, "heartbeat")
+    return (
+        _require(document, "worker", str, "heartbeat"),
+        _require(document, "lease", str, "heartbeat"),
+    )

@@ -1,0 +1,333 @@
+"""Coordinator bookkeeping: job table, priority queue, leases, sweeps.
+
+Pure in-memory logic with an injectable clock — no HTTP, no store, no
+threads — so every failure mode (lease expiry, duplicate completion,
+retry exhaustion) is unit-testable with a fake clock.  The
+:class:`~repro.fabric.coordinator.Coordinator` wraps this with the
+store read-through, metrics, and the HTTP surface, and serialises
+access behind one lock.
+
+Jobs are identified by their store key, so the table doubles as the
+dedupe index: submitting an overlapping grid while another sweep is in
+flight attaches the new sweep to the existing queued/leased jobs
+instead of enqueuing duplicates.  Durability is the store's problem,
+not this table's: every completed result is persisted by the
+coordinator before :meth:`CoordinatorState.complete` records it, so a
+restarted coordinator rebuilds exactly this state by re-running
+submissions through the store read-through (finished jobs dedupe away,
+unfinished ones re-queue).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import sweep
+
+#: Job life-cycle states.
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class JobEntry:
+    """One unique job known to the coordinator (keyed by store key)."""
+
+    key: str
+    job: sweep.Job  # resolved
+    spec: Dict[str, object]
+    priority: int = 0
+    status: str = QUEUED
+    sweeps: List[str] = field(default_factory=list)
+    attempts: int = 0
+    worker: Optional[str] = None
+    lease_id: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class Lease:
+    """One granted batch: expires as a unit, renewed by heartbeats."""
+
+    id: str
+    worker: str
+    keys: List[str]
+    expires: float
+
+
+@dataclass
+class SweepRecord:
+    """One accepted submission and the job keys it resolved to."""
+
+    id: str
+    keys: List[str]
+    deduped: int  # jobs already satisfied by the store at submit time
+
+
+@dataclass
+class WorkerInfo:
+    """Liveness and lifetime counters for one worker id."""
+
+    id: str
+    last_seen: float = 0.0
+    leased: int = 0
+    completed: int = 0
+    failed: int = 0
+
+
+class CoordinatorState:
+    """The scheduling state machine (single-threaded; caller locks).
+
+    ``clock`` is any monotonic float source (``time.monotonic`` in
+    production, a fake in tests); leases expire ``lease_seconds`` after
+    grant/renewal.  A job whose lease expires re-queues at the front of
+    its priority class until it has been attempted ``max_attempts``
+    times, then fails — a job that kills every worker that touches it
+    must not poison the queue forever.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        lease_seconds: float = 60.0,
+        max_attempts: int = 3,
+    ) -> None:
+        self.clock = clock
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.jobs: Dict[str, JobEntry] = {}
+        self.sweeps: Dict[str, SweepRecord] = {}
+        self.leases: Dict[str, Lease] = {}
+        self.workers: Dict[str, WorkerInfo] = {}
+        #: (-priority, seq, key): higher priority first, FIFO within.
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._sweep_ids = itertools.count(1)
+        self._lease_ids = itertools.count(1)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        entries: Sequence[Tuple[str, sweep.Job, Dict[str, object], bool]],
+        priority: int = 0,
+    ) -> SweepRecord:
+        """Register one submission.
+
+        ``entries`` is ``(key, resolved job, spec, already_done)`` per
+        grid cell — ``already_done`` meaning the coordinator's store
+        read-through satisfied it at submit time.  Duplicate keys
+        (within the grid or against in-flight jobs) attach rather than
+        re-queue.
+        """
+        sweep_id = f"sweep-{next(self._sweep_ids)}"
+        record = SweepRecord(id=sweep_id, keys=[], deduped=0)
+        for key, job, spec, already_done in entries:
+            record.keys.append(key)
+            entry = self.jobs.get(key)
+            if entry is None:
+                entry = JobEntry(
+                    key=key, job=job, spec=dict(spec), priority=priority,
+                    status=DONE if already_done else QUEUED,
+                )
+                self.jobs[key] = entry
+                if not already_done:
+                    self._push(entry)
+            if sweep_id not in entry.sweeps:
+                entry.sweeps.append(sweep_id)
+            if entry.status == DONE:
+                record.deduped += 1
+        self.sweeps[sweep_id] = record
+        return record
+
+    def _push(self, entry: JobEntry) -> None:
+        heapq.heappush(
+            self._heap, (-entry.priority, next(self._seq), entry.key)
+        )
+
+    # -- leasing --------------------------------------------------------
+    def lease(self, worker: str, capacity: int) -> Optional[Lease]:
+        """Grant up to ``capacity`` queued jobs to ``worker``.
+
+        Returns None when nothing is queued.  Stale heap entries (jobs
+        completed or re-queued since they were pushed) are discarded
+        lazily here.
+        """
+        self._touch(worker)
+        keys: List[str] = []
+        while self._heap and len(keys) < capacity:
+            _, _, key = heapq.heappop(self._heap)
+            entry = self.jobs.get(key)
+            if entry is None or entry.status != QUEUED:
+                continue  # stale heap entry
+            keys.append(key)
+        if not keys:
+            return None
+        lease = Lease(
+            id=f"lease-{next(self._lease_ids)}",
+            worker=worker,
+            keys=keys,
+            expires=self.clock() + self.lease_seconds,
+        )
+        self.leases[lease.id] = lease
+        info = self.workers[worker]
+        for key in keys:
+            entry = self.jobs[key]
+            entry.status = LEASED
+            entry.worker = worker
+            entry.lease_id = lease.id
+            entry.attempts += 1
+            info.leased += 1
+        return lease
+
+    def renew(self, lease_id: str, worker: str) -> bool:
+        """Heartbeat: push the lease expiry out; False if unknown/expired."""
+        self._touch(worker)
+        lease = self.leases.get(lease_id)
+        if lease is None or lease.worker != worker:
+            return False
+        lease.expires = self.clock() + self.lease_seconds
+        return True
+
+    def expire_leases(self) -> List[str]:
+        """Re-queue jobs of every overdue lease; returns re-queued keys.
+
+        Called lazily from every API entry point (lease, complete,
+        status), so a dead worker's jobs surface the next time anyone
+        talks to the coordinator.  Jobs past ``max_attempts`` fail
+        instead of re-queuing.
+        """
+        now = self.clock()
+        requeued: List[str] = []
+        for lease in [
+            lease for lease in self.leases.values() if lease.expires <= now
+        ]:
+            del self.leases[lease.id]
+            for key in lease.keys:
+                entry = self.jobs.get(key)
+                if entry is None or entry.status != LEASED:
+                    continue
+                if entry.lease_id != lease.id:
+                    continue
+                entry.worker = None
+                entry.lease_id = None
+                if entry.attempts >= self.max_attempts:
+                    entry.status = FAILED
+                    entry.error = (
+                        f"lease expired after {entry.attempts} attempt(s); "
+                        "worker presumed dead"
+                    )
+                else:
+                    entry.status = QUEUED
+                    self._push(entry)
+                    requeued.append(key)
+        return requeued
+
+    # -- completion -----------------------------------------------------
+    def complete(self, key: str, worker: str) -> str:
+        """Record one finished job; returns ``first``/``duplicate``/
+        ``unknown``.
+
+        A worker whose lease expired may still return a correct result
+        (the simulator is deterministic) — accept it unless someone else
+        finished first.
+        """
+        self._touch(worker)
+        entry = self.jobs.get(key)
+        if entry is None:
+            return "unknown"
+        if entry.status == DONE:
+            return "duplicate"
+        self._detach_from_lease(entry)
+        entry.status = DONE
+        entry.worker = worker
+        entry.error = None
+        self.workers[worker].completed += 1
+        return "first"
+
+    def fail(self, key: str, worker: str, error: str) -> str:
+        """Record one failed execution; re-queue or fail permanently."""
+        self._touch(worker)
+        entry = self.jobs.get(key)
+        if entry is None:
+            return "unknown"
+        if entry.status == DONE:
+            return "duplicate"
+        self._detach_from_lease(entry)
+        self.workers[worker].failed += 1
+        entry.worker = None
+        entry.lease_id = None
+        if entry.attempts >= self.max_attempts:
+            entry.status = FAILED
+            entry.error = error
+            return "failed"
+        entry.status = QUEUED
+        entry.error = error
+        self._push(entry)
+        return "requeued"
+
+    def _detach_from_lease(self, entry: JobEntry) -> None:
+        lease = self.leases.get(entry.lease_id) if entry.lease_id else None
+        if lease is not None:
+            try:
+                lease.keys.remove(entry.key)
+            except ValueError:
+                pass
+            if not lease.keys:
+                del self.leases[lease.id]
+        entry.lease_id = None
+
+    def _touch(self, worker: str) -> None:
+        info = self.workers.get(worker)
+        if info is None:
+            info = self.workers[worker] = WorkerInfo(id=worker)
+        info.last_seen = self.clock()
+
+    # -- views ----------------------------------------------------------
+    def counts(self, keys: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Job counts by status, overall or for one sweep's keys."""
+        counts = {QUEUED: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        entries = (
+            [self.jobs[k] for k in keys if k in self.jobs]
+            if keys is not None
+            else self.jobs.values()
+        )
+        for entry in entries:
+            counts[entry.status] += 1
+        return counts
+
+    def sweep_status(self, sweep_id: str) -> Optional[Dict[str, object]]:
+        record = self.sweeps.get(sweep_id)
+        if record is None:
+            return None
+        counts = self.counts(record.keys)
+        failed = [
+            {"key": key, "error": self.jobs[key].error}
+            for key in record.keys
+            if key in self.jobs and self.jobs[key].status == FAILED
+        ]
+        return {
+            "sweep": record.id,
+            "total": len(record.keys),
+            "deduped": record.deduped,
+            "counts": counts,
+            "done": counts[DONE] == len(record.keys),
+            "failed": failed,
+        }
+
+    def workers_view(self) -> Dict[str, Dict[str, object]]:
+        now = self.clock()
+        return {
+            info.id: {
+                "last_seen_seconds_ago": max(0.0, now - info.last_seen),
+                "leased": info.leased,
+                "completed": info.completed,
+                "failed": info.failed,
+            }
+            for info in self.workers.values()
+        }

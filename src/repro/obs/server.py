@@ -9,6 +9,10 @@ expose its state without any dependency beyond the standard library:
   directory;
 * ``GET /metrics.json``  — the JSON snapshot document;
 * ``GET /healthz``       — liveness JSON: status, pid, uptime, source;
+  in snapshot-dir mode it also reports the newest snapshot's age and
+  flips ``status`` to ``stale`` once that age exceeds ``stale_after``
+  seconds (a dead sweep stops refreshing its snapshot — the fabric
+  coordinator and external monitors key off this);
 * ``GET /progress``      — a self-refreshing HTML dashboard of the
   attached :class:`~repro.obs.progress.SweepProgress`;
 * ``GET /progress.json`` — the raw progress snapshot.
@@ -72,6 +76,10 @@ _DASHBOARD_TEMPLATE = """<!DOCTYPE html>
 class ObsServer:
     """Serve metrics/health/progress for one process on a daemon thread."""
 
+    #: Snapshot age (seconds) past which ``/healthz`` reports ``stale``
+    #: in snapshot-dir mode; None disables the check.
+    DEFAULT_STALE_AFTER = 600.0
+
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
@@ -79,12 +87,14 @@ class ObsServer:
         snapshot_dir: Optional[str] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        stale_after: Optional[float] = DEFAULT_STALE_AFTER,
     ) -> None:
         if registry is None and snapshot_dir is None:
             raise ValueError("ObsServer needs a registry or a snapshot_dir")
         self.registry = registry
         self.progress = progress
         self.snapshot_dir = snapshot_dir
+        self.stale_after = stale_after
         self._started_monotonic = time.monotonic()
         self._thread: Optional[threading.Thread] = None
         owner = self
@@ -94,6 +104,9 @@ class ObsServer:
 
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 owner._route(self)
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                owner._route_post(self)
 
             def log_message(self, format: str, *args: object) -> None:
                 _log.debug("%s - %s", self.address_string(), format % args)
@@ -166,12 +179,49 @@ class ObsServer:
 
     def _health(self) -> Dict[str, object]:
         source, _ = self._metrics_source()
-        return {
+        health: Dict[str, object] = {
             "status": "ok",
             "pid": os.getpid(),
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "metrics_source": source,
         }
+        if self.registry is None:
+            # Snapshot-dir mode: a sweep that died stops refreshing its
+            # snapshot, so report the age and flip to "stale" past the
+            # threshold instead of answering "ok" forever.
+            age = self._snapshot_age()
+            health["snapshot_age_seconds"] = age
+            if (
+                age is not None
+                and self.stale_after is not None
+                and age > self.stale_after
+            ):
+                health["status"] = "stale"
+                health["stale_after_seconds"] = self.stale_after
+        health.update(self.health_extra())
+        return health
+
+    def _snapshot_age(self) -> Optional[float]:
+        """Seconds since the newest snapshot was generated (None if none).
+
+        Prefers the snapshot's own ``generated_unix`` stamp; falls back
+        to file mtime for hand-made or older snapshot documents.
+        """
+        found = exporters.latest_snapshot(self.snapshot_dir)
+        if found is None:
+            return None
+        path, document = found
+        generated = document.get("generated_unix")
+        if isinstance(generated, (int, float)):
+            return max(0.0, time.time() - float(generated))
+        try:
+            return max(0.0, time.time() - os.path.getmtime(path))
+        except OSError:
+            return None
+
+    def health_extra(self) -> Dict[str, object]:
+        """Subclass hook: extra fields merged into the ``/healthz`` body."""
+        return {}
 
     def _progress_snapshot(self) -> Optional[Dict[str, object]]:
         if self.progress is not None:
@@ -230,6 +280,8 @@ class ObsServer:
                 self._respond(
                     handler, 200, "text/html; charset=utf-8", self._dashboard()
                 )
+            elif self._handle_get(handler, path):
+                pass
             else:
                 self._respond_json(handler, 404, {"error": f"no route {path}"})
         except BrokenPipeError:  # client went away mid-response
@@ -240,6 +292,30 @@ class ObsServer:
                 self._respond_json(handler, 500, {"error": "internal error"})
             except Exception:
                 pass
+
+    def _route_post(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        try:
+            if not self._handle_post(handler, path):
+                self._respond_json(
+                    handler, 405, {"error": f"no POST route {path}"}
+                )
+        except BrokenPipeError:
+            pass
+        except Exception:
+            _log.exception("obs endpoint failed serving POST %s", path)
+            try:
+                self._respond_json(handler, 500, {"error": "internal error"})
+            except Exception:
+                pass
+
+    def _handle_get(self, handler: BaseHTTPRequestHandler, path: str) -> bool:
+        """Subclass hook for extra GET routes; True = request handled."""
+        return False
+
+    def _handle_post(self, handler: BaseHTTPRequestHandler, path: str) -> bool:
+        """Subclass hook for POST routes; True = request handled."""
+        return False
 
     @staticmethod
     def _respond(

@@ -128,3 +128,69 @@ class TestSnapshotDirServing:
     def test_needs_registry_or_dir(self):
         with pytest.raises(ValueError, match="registry or a snapshot_dir"):
             ObsServer()
+
+
+class TestHealthStaleness:
+    @staticmethod
+    def write_aged_snapshot(directory, age_seconds):
+        import time
+
+        registry = MetricsRegistry(enabled=True)
+        path = exporters.write_snapshot(registry, directory=directory)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["generated_unix"] = time.time() - age_seconds
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+
+    def test_fresh_snapshot_reports_age_and_ok(self, tmp_path):
+        self.write_aged_snapshot(str(tmp_path), age_seconds=5)
+        server = ObsServer(snapshot_dir=str(tmp_path), stale_after=600).start()
+        try:
+            _, _, body = get(server.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert 0 <= health["snapshot_age_seconds"] < 600
+        finally:
+            server.close()
+
+    def test_old_snapshot_flips_to_stale(self, tmp_path):
+        # a sweep that died stops refreshing its snapshot; /healthz must
+        # say so instead of answering "ok" forever
+        self.write_aged_snapshot(str(tmp_path), age_seconds=3600)
+        server = ObsServer(snapshot_dir=str(tmp_path), stale_after=600).start()
+        try:
+            _, _, body = get(server.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "stale"
+            assert health["snapshot_age_seconds"] > 600
+            assert health["stale_after_seconds"] == 600
+        finally:
+            server.close()
+
+    def test_staleness_check_can_be_disabled(self, tmp_path):
+        self.write_aged_snapshot(str(tmp_path), age_seconds=3600)
+        server = ObsServer(snapshot_dir=str(tmp_path), stale_after=None).start()
+        try:
+            _, _, body = get(server.url + "/healthz")
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            server.close()
+
+    def test_empty_dir_has_no_age(self, tmp_path):
+        server = ObsServer(snapshot_dir=str(tmp_path)).start()
+        try:
+            _, _, body = get(server.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["snapshot_age_seconds"] is None
+        finally:
+            server.close()
+
+    def test_live_registry_mode_has_no_snapshot_age(self, tmp_path):
+        server = ObsServer(registry=MetricsRegistry(enabled=True)).start()
+        try:
+            _, _, body = get(server.url + "/healthz")
+            assert "snapshot_age_seconds" not in json.loads(body)
+        finally:
+            server.close()

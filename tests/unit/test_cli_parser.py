@@ -96,6 +96,53 @@ class TestObsFlags:
             _build_parser().parse_args(["obs"])
 
 
+class TestFabricSubcommand:
+    def test_serve_defaults(self):
+        args = _build_parser().parse_args(["fabric", "serve"])
+        assert args.fabric_command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.lease_seconds == 60.0
+        assert args.max_attempts == 3
+
+    def test_work_requires_coordinator(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fabric", "work"])
+
+    def test_work_flags(self):
+        args = _build_parser().parse_args(
+            ["fabric", "work", "--coordinator", "http://h:1",
+             "--id", "w7", "--capacity", "4", "--poll", "0.2",
+             "--drain-idle", "9"]
+        )
+        assert args.coordinator == "http://h:1"
+        assert args.worker_id == "w7"
+        assert args.capacity == 4
+        assert args.poll == 0.2
+        assert args.drain_idle == 9.0
+
+    def test_submit_defaults_and_grid(self):
+        args = _build_parser().parse_args(
+            ["fabric", "submit", "--coordinator", "http://h:1",
+             "-b", "milc", "tonto", "-c", "NP", "PS"]
+        )
+        assert args.benchmarks == ["milc", "tonto"]
+        assert args.configs == ["NP", "PS"]
+        assert args.accesses == 15_000
+        assert not args.watch
+
+    def test_status_takes_optional_sweep(self):
+        args = _build_parser().parse_args(
+            ["fabric", "status", "--coordinator", "http://h:1",
+             "--sweep", "sweep-3"]
+        )
+        assert args.sweep == "sweep-3"
+
+    def test_fabric_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fabric"])
+
+
 class TestLintSubcommand:
     def test_lint_defaults(self):
         args = _build_parser().parse_args(["lint"])

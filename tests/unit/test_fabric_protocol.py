@@ -1,0 +1,183 @@
+"""Unit tests for the fabric wire protocol (codec + validation)."""
+
+import pytest
+
+from repro.experiments import sweep
+from repro.fabric import protocol
+from repro.fabric.protocol import PROTOCOL_VERSION, ProtocolError
+
+
+def resolved_job(**overrides):
+    fields = dict(benchmark="milc", config_name="NP", accesses=2000,
+                  seed=1, threads=1, scheduler="ahb")
+    fields.update(overrides)
+    return sweep.Job(**fields)
+
+
+class TestEnvelope:
+    def test_envelope_carries_version_and_kind(self):
+        message = protocol.envelope("heartbeat", worker="w1")
+        assert message["protocol"] == PROTOCOL_VERSION
+        assert message["kind"] == "heartbeat"
+        assert message["worker"] == "w1"
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.check_envelope([1, 2], "heartbeat")
+
+    def test_version_mismatch_rejected(self):
+        stale = protocol.envelope("heartbeat")
+        stale["protocol"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            protocol.check_envelope(stale, "heartbeat")
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="expected message kind"):
+            protocol.check_envelope(
+                protocol.envelope("lease_request"), "heartbeat"
+            )
+
+
+class TestJobCodec:
+    def test_round_trip(self):
+        job = resolved_job(threads=2, scheduler="in_order")
+        assert protocol.decode_job(protocol.encode_job(job)) == job
+
+    def test_unresolved_job_rejected(self):
+        # env-backed defaults differ per host, so the wire form must be
+        # fully resolved
+        with pytest.raises(ProtocolError, match="resolved"):
+            protocol.encode_job(resolved_job(accesses=None))
+        with pytest.raises(ProtocolError, match="resolved"):
+            protocol.encode_job(resolved_job(seed=None))
+
+    def test_unknown_fields_rejected(self):
+        payload = protocol.encode_job(resolved_job())
+        payload["surprise"] = 1
+        with pytest.raises(ProtocolError, match="unknown job fields"):
+            protocol.decode_job(payload)
+
+    def test_wrong_types_rejected(self):
+        payload = protocol.encode_job(resolved_job())
+        payload["accesses"] = "2000"
+        with pytest.raises(ProtocolError, match="accesses"):
+            protocol.decode_job(payload)
+
+    def test_bool_is_not_an_int(self):
+        payload = protocol.encode_job(resolved_job())
+        payload["seed"] = True
+        with pytest.raises(ProtocolError, match="seed"):
+            protocol.decode_job(payload)
+
+
+class TestSweepRequest:
+    def test_grid_form_expands_like_the_sweep_engine(self):
+        request = protocol.sweep_request(
+            ["milc", "tonto"], ["NP", "PS"], accesses=500, seed=3
+        )
+        jobs, priority = protocol.parse_sweep_request(request)
+        assert priority == 0
+        assert jobs == sweep.expand_grid(
+            ["milc", "tonto"], ["NP", "PS"], accesses=500, seed=3
+        )
+
+    def test_explicit_jobs_form(self):
+        request = protocol.envelope(
+            "sweep_request",
+            jobs=[protocol.encode_job(resolved_job())],
+            priority=5,
+        )
+        jobs, priority = protocol.parse_sweep_request(request)
+        assert jobs == [resolved_job()]
+        assert priority == 5
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            protocol.parse_sweep_request(
+                protocol.sweep_request([], ["NP"], accesses=1, seed=1)
+            )
+
+    def test_bad_priority_rejected(self):
+        request = protocol.sweep_request(["milc"], ["NP"])
+        request["priority"] = "urgent"
+        with pytest.raises(ProtocolError, match="priority"):
+            protocol.parse_sweep_request(request)
+
+
+class TestLeaseMessages:
+    def test_lease_request_round_trip(self):
+        parsed = protocol.parse_lease_request(
+            protocol.lease_request("w1", 4)
+        )
+        assert parsed == ("w1", 4)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ProtocolError, match=">= 1"):
+            protocol.parse_lease_request(protocol.lease_request("w1", 0))
+
+    def test_lease_grant_round_trip(self):
+        job = resolved_job()
+        grant = protocol.lease_grant("lease-1", [("k1", job)], 30.0)
+        lease_id, jobs, seconds = protocol.parse_lease_grant(grant)
+        assert lease_id == "lease-1"
+        assert jobs == [("k1", job)]
+        assert seconds == 30.0
+
+    def test_empty_grant_means_nothing_queued(self):
+        lease_id, jobs, _ = protocol.parse_lease_grant(
+            protocol.lease_grant(None, [], 30.0)
+        )
+        assert lease_id is None
+        assert jobs == []
+
+
+class TestCompleteReport:
+    def test_round_trip_with_metrics(self):
+        report = protocol.complete_report(
+            "w1", "lease-1",
+            [{"key": "k1", "result": {"x": 1}, "outcome": "executed",
+              "seconds": 0.5, "error": None}],
+            metrics={"jobs": 1.0},
+        )
+        worker, lease_id, items, metrics = protocol.parse_complete_report(
+            report
+        )
+        assert (worker, lease_id) == ("w1", "lease-1")
+        assert items[0]["key"] == "k1"
+        assert items[0]["result"] == {"x": 1}
+        assert items[0]["seconds"] == 0.5
+        assert metrics == {"jobs": 1.0}
+
+    def test_error_item_allowed_without_result(self):
+        report = protocol.complete_report(
+            "w1", "lease-1", [{"key": "k1", "error": "boom"}]
+        )
+        _, _, items, _ = protocol.parse_complete_report(report)
+        assert items[0]["result"] is None
+        assert items[0]["error"] == "boom"
+
+    def test_item_needs_result_or_error(self):
+        report = protocol.complete_report(
+            "w1", "lease-1", [{"key": "k1"}]
+        )
+        with pytest.raises(ProtocolError, match="neither result nor error"):
+            protocol.parse_complete_report(report)
+
+    def test_non_numeric_metrics_dropped(self):
+        report = protocol.complete_report(
+            "w1", None, [{"key": "k1", "result": {}}],
+            metrics={"ok": 2, "bad": "nan-ish", "flag": True},
+        )
+        _, _, _, metrics = protocol.parse_complete_report(report)
+        assert metrics == {"ok": 2.0}
+
+
+class TestHeartbeat:
+    def test_round_trip(self):
+        parsed = protocol.parse_heartbeat(protocol.heartbeat("w1", "lease-9"))
+        assert parsed == ("w1", "lease-9")
+
+    def test_missing_lease_rejected(self):
+        message = protocol.envelope("heartbeat", worker="w1")
+        with pytest.raises(ProtocolError, match="lease"):
+            protocol.parse_heartbeat(message)

@@ -140,6 +140,57 @@ class TestResultStore:
         assert not [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
 
 
+class TestSweepOrphans:
+    @staticmethod
+    def plant_orphan(tmp_path, name, age_seconds):
+        path = tmp_path / name
+        path.write_text("{}")
+        stamp = os.path.getmtime(path) - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_old_orphans_are_reaped(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        old = self.plant_orphan(
+            tmp_path, ".tmp-dead.json", store.ORPHAN_MIN_AGE_SECONDS + 60
+        )
+        assert st.sweep_orphans() == 1
+        assert not old.exists()
+
+    def test_young_temp_files_survive(self, tmp_path):
+        # a writer may be mid-put right now: the age guard keeps the
+        # sweep from racing a live os.replace
+        st = store.ResultStore(str(tmp_path))
+        young = self.plant_orphan(tmp_path, ".tmp-live.json", 5)
+        assert st.sweep_orphans() == 0
+        assert young.exists()
+
+    def test_results_are_never_touched(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        spec = sample_spec()
+        st.put(spec, sample_result())
+        self.plant_orphan(
+            tmp_path, ".tmp-dead.json", store.ORPHAN_MIN_AGE_SECONDS + 60
+        )
+        assert st.sweep_orphans() == 1
+        assert st.get(spec) == sample_result()
+
+    def test_min_age_is_tunable(self, tmp_path):
+        st = store.ResultStore(str(tmp_path))
+        self.plant_orphan(tmp_path, ".tmp-x.json", 30)
+        assert st.sweep_orphans(min_age_seconds=10) == 1
+
+    def test_preload_store_sweeps(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        self.plant_orphan(
+            tmp_path, ".tmp-dead.json", store.ORPHAN_MIN_AGE_SECONDS + 60
+        )
+        runner.preload_store()
+        assert not (tmp_path / ".tmp-dead.json").exists()
+
+
 class TestEnvironment:
     def test_store_dir_env_controls_root(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "here"))
