@@ -18,7 +18,9 @@ from typing import List, Sequence, Set
 
 from repro.analysislint.core import Finding, SourceTree
 
-#: Simulated-machine packages: everything the main loop executes.
+#: Simulated-machine packages: everything the main loop executes, plus
+#: the fast analytic surrogate — its predictions feed the same stores
+#: and plots, so it must be exactly as deterministic as the simulator.
 SIM_PACKAGES: Set[str] = {
     "controller",
     "dram",
@@ -26,6 +28,7 @@ SIM_PACKAGES: Set[str] = {
     "cache",
     "prefetch",
     "system",
+    "fastsim",
 }
 
 #: Hot-path packages for the hygiene rule (per-tick object traffic).

@@ -133,6 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="configurations (default: NP PS MS PMS)")
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
+    sweep.add_argument("--fidelity", choices=("exact", "fast", "auto"),
+                       default="exact",
+                       help="simulation tier (docs/fidelity.md): exact = "
+                            "cycle-accurate, fast = analytic model with "
+                            "validated error bars, auto = fast plus exact "
+                            "escalation near decision boundaries")
     sweep.add_argument("--metrics-port", type=int, metavar="N", default=None,
                        help="serve /metrics, /healthz and /progress on "
                             "127.0.0.1:N for the duration of the sweep "
@@ -237,6 +243,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="configurations (default: NP PS MS PMS)")
     fsubmit.add_argument("--priority", type=int, default=0,
                          help="queue priority (higher runs first)")
+    fsubmit.add_argument("--fidelity", choices=("exact", "fast"),
+                         default="exact",
+                         help="simulation tier (docs/fidelity.md); fast "
+                              "also queues the exact validation sample so "
+                              "--watch can print calibrated error bars")
     fsubmit.add_argument("--watch", action="store_true",
                          help="poll until done and print the sweep table")
     fsubmit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
@@ -456,11 +467,21 @@ def _cmd_sweep(args) -> int:
         ).start()
         print(f"  obs endpoint: {server.url}", file=sys.stderr)
     try:
-        outcome = sweep.run_jobs(
-            specs, jobs=max(1, jobs), timeout=args.timeout,
-            use_store=False if args.no_store else None,
-            progress=live, metrics=registry,
-        )
+        if args.fidelity == "exact":
+            outcome = sweep.run_jobs(
+                specs, jobs=max(1, jobs), timeout=args.timeout,
+                use_store=False if args.no_store else None,
+                progress=live, metrics=registry,
+            )
+        else:
+            from repro.fastsim import run_fidelity_sweep
+
+            outcome = run_fidelity_sweep(
+                specs, fidelity=args.fidelity, jobs=max(1, jobs),
+                timeout=args.timeout,
+                use_store=False if args.no_store else None,
+                progress=live, metrics=registry,
+            )
     finally:
         if printer is not None:
             printer.close()
@@ -481,7 +502,16 @@ def _cmd_sweep(args) -> int:
                    f"jobs={max(1, jobs)})"),
         )
     )
-    print(f"  {outcome.stats.summary()}")
+    print(f"  {outcome.stats.describe()}")
+    record = getattr(outcome, "record", None)
+    if record is not None:
+        print(f"  {record.summary()}")
+        if getattr(outcome, "escalated_indices", None):
+            escalated = ", ".join(
+                f"{specs[i].benchmark}/{specs[i].config_name}"
+                for i in outcome.escalated_indices
+            )
+            print(f"  escalated to exact (decision boundary): {escalated}")
     if not args.no_store:
         from repro.experiments import store
 
@@ -593,7 +623,7 @@ def _cmd_fabric(args) -> int:
         configs = list(args.configs)
         accepted = client.submit(
             benchmarks, configs, accesses=args.accesses, seed=args.seed,
-            priority=args.priority,
+            priority=args.priority, fidelity=args.fidelity,
         )
         sweep_id = accepted["sweep"]
         print(f"accepted {sweep_id}: {accepted['total']} jobs, "
@@ -603,7 +633,11 @@ def _cmd_fabric(args) -> int:
             return 0
         status = client.watch(sweep_id, poll_seconds=args.poll)
         failed = status.get("failed", [])
-        by_bench = client.fetch_suite(sweep_id)
+        if args.fidelity == "exact":
+            by_bench = client.fetch_suite(sweep_id)
+            record = None
+        else:
+            by_bench, record = client.fetch_calibrated_suite(sweep_id)
         if all(c in by_bench.get(b, {}) for b in benchmarks for c in configs):
             print(
                 _grid_table(
@@ -613,6 +647,8 @@ def _cmd_fabric(args) -> int:
                            f"({args.accesses} accesses)"),
                 )
             )
+        if record is not None:
+            print(f"  {record.summary()}")
         for failure in failed:
             print(f"  FAILED {failure['key']}: {failure['error']}",
                   file=sys.stderr)

@@ -102,10 +102,16 @@ def cache_key(
     scheduler: str = "ahb",
     mutate_key: Optional[str] = None,
     traced: bool = False,
+    fidelity: str = "exact",
 ) -> Tuple:
-    """The in-process cache key for one run (resolved arguments)."""
+    """The in-process cache key for one run (resolved arguments).
+
+    ``fidelity`` separates fast-model predictions from exact results:
+    the two tiers of one job never alias in the cache (mirroring the
+    ``fidelity`` field :func:`store.job_spec` adds to fast store keys).
+    """
     return (benchmark, config_name, accesses, seed, threads, scheduler,
-            mutate_key, traced)
+            mutate_key, traced, fidelity)
 
 
 def cached_result(key: Tuple) -> Optional[RunResult]:
@@ -340,7 +346,8 @@ def preload_store(use_store: Optional[bool] = None) -> int:
         if fingerprints[ident] != spec.get("config_fingerprint"):
             continue
         key = cache_key(spec["benchmark"], spec["config"], spec["accesses"],
-                        spec["seed"], spec["threads"], spec["scheduler"])
+                        spec["seed"], spec["threads"], spec["scheduler"],
+                        fidelity=str(spec.get("fidelity", "exact")))
         if key not in _run_cache:
             _run_cache[key] = result
             loaded += 1

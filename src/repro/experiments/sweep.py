@@ -20,11 +20,13 @@ Robustness:
   created (restricted environments), or exhausted retries all degrade
   to the ordinary in-process path.  A sweep always completes.
 
-Determinism: workers execute :func:`runner.simulate_job` — the exact
-code the serial path runs — and ship results back through the store
-codec, which is lossless for ints, floats, and strings.  A parallel
-sweep therefore compares equal, field for field, to the serial run of
-the same specs (asserted by ``tests/integration/test_sweep_parallel``).
+Determinism: workers execute :func:`compute_job` — the exact code the
+serial path runs, dispatching each job's fidelity tier (exact
+simulator or the :mod:`repro.fastsim` model) — and ship results back
+through the store codec, which is lossless for ints, floats, and
+strings.  A parallel sweep therefore compares equal, field for field,
+to the serial run of the same specs (asserted by
+``tests/integration/test_sweep_parallel``).
 
 Telemetry never enters this module: traced runs are serial-only by the
 rule established in :mod:`repro.telemetry` (see docs/telemetry.md).
@@ -53,6 +55,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.experiments import runner, store
+from repro.fastsim.version import JOB_FIDELITIES
 from repro.obs import flightrec
 from repro.obs import metrics as obs_metrics
 from repro.obs.progress import SweepProgress
@@ -81,6 +84,9 @@ class Job:
     threads: int = 1
     scheduler: str = "ahb"
     mutate_key: Optional[str] = None
+    #: execution tier: "exact" (cycle-accurate simulator) or "fast"
+    #: (the :mod:`repro.fastsim` analytic model) — docs/fidelity.md
+    fidelity: str = "exact"
 
     def resolve(self) -> "Job":
         """Fill env-backed defaults and validate the trace length."""
@@ -90,6 +96,13 @@ class Job:
                 "not cross process boundaries, so the sweep engine would "
                 "cache an unmutated result under a mutated identity. Use "
                 "runner.run(mutate=..., mutate_key=...) serially instead."
+            )
+        if self.fidelity not in JOB_FIDELITIES:
+            raise ValueError(
+                f"unknown job fidelity {self.fidelity!r}: expected one of "
+                f"{JOB_FIDELITIES} (\"auto\" is a *sweep* policy — the "
+                "orchestrator lowers it to per-job tiers; see "
+                "repro.fastsim.orchestrator)"
             )
         return replace(
             self,
@@ -105,6 +118,7 @@ def expand_grid(
     seed: Optional[int] = None,
     threads: int = 1,
     scheduler: str = "ahb",
+    fidelity: str = "exact",
 ) -> List[Job]:
     """Expand a benchmarks x configs grid into unresolved :class:`Job` specs.
 
@@ -112,10 +126,12 @@ def expand_grid(
     :func:`runner.run_suite`, the ``repro sweep`` CLI, and the fabric
     coordinator (:mod:`repro.fabric`): benchmark-major, config-minor
     order, so results align positionally with the nested suite dict.
+    ``fidelity`` is a per-job tier ("exact" or "fast"); the "auto"
+    sweep policy is lowered before grid expansion.
     """
     return [
         Job(benchmark=b, config_name=c, accesses=accesses, seed=seed,
-            threads=threads, scheduler=scheduler)
+            threads=threads, scheduler=scheduler, fidelity=fidelity)
         for b in benchmarks
         for c in config_names
     ]
@@ -133,12 +149,12 @@ def prepare(job: Job) -> Tuple["Job", Tuple, Dict[str, object], SystemConfig]:
     job = job.resolve()
     key = runner.cache_key(job.benchmark, job.config_name, job.accesses,
                            job.seed, job.threads, job.scheduler,
-                           job.mutate_key)
+                           job.mutate_key, fidelity=job.fidelity)
     config = make_config(job.config_name, threads=job.threads,
                          scheduler=job.scheduler)
     spec = store.job_spec(job.benchmark, job.config_name, job.accesses,
                           job.seed, job.threads, job.scheduler,
-                          job.mutate_key, config)
+                          job.mutate_key, config, fidelity=job.fidelity)
     return job, key, spec, config
 
 
@@ -187,6 +203,9 @@ class SweepStats:
     store_misses: int = 0  # store reads that missed
     store_errors: int = 0  # corrupt entries treated as misses
     store_puts: int = 0  # results persisted during this call
+    fast_jobs: int = 0  # jobs resolved at the fast-model tier
+    exact_jobs: int = 0  # jobs resolved at the cycle-accurate tier
+    validated: int = 0  # fast jobs cross-checked by a FidelityGate
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view of every counter."""
@@ -214,9 +233,27 @@ class SweepStats:
             )
         return line
 
+    def merge(self, other: "SweepStats") -> None:
+        """Fold another stats block into this one (counter-wise sum)."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+
     def describe(self) -> str:
-        """Backwards-compatible alias for :meth:`summary`."""
-        return self.summary()
+        """:meth:`summary` plus the fidelity breakdown of the sweep.
+
+        Single-tier exact sweeps describe exactly like before; as soon
+        as any job ran at the fast tier the line reports how many jobs
+        each tier served and how many fast points a
+        :class:`~repro.fastsim.gate.FidelityGate` cross-checked against
+        the exact simulator.
+        """
+        line = self.summary()
+        if self.fast_jobs:
+            line += (
+                f"; fidelity: {self.fast_jobs} fast / "
+                f"{self.exact_jobs} exact, {self.validated} validated"
+            )
+        return line
 
 
 @dataclass
@@ -324,8 +361,30 @@ def _job_payload(job: Job) -> Dict[str, object]:
         "accesses": job.accesses,
         "seed": job.seed,
         "threads": job.threads,
+        "fidelity": job.fidelity,
         "_submitted": _wall_time(),
     }
+
+
+def compute_job(
+    config: SystemConfig,
+    benchmark: str,
+    accesses: int,
+    seed: int,
+    threads: int,
+    fidelity: str,
+) -> RunResult:
+    """Tier dispatch shared by serial and worker execution paths.
+
+    One function, both tiers: the parallel == serial determinism
+    guarantee extends to fast jobs because workers and the serial
+    fallback route through this exact dispatch.
+    """
+    if fidelity == "fast":
+        from repro.fastsim.model import simulate_job_fast
+
+        return simulate_job_fast(config, benchmark, accesses, seed, threads)
+    return runner.simulate_job(config, benchmark, accesses, seed, threads)
 
 
 def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, object]:
@@ -339,12 +398,13 @@ def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, 
     """
     started = _wall_time()
     t0 = perf_counter()
-    result = runner.simulate_job(
+    result = compute_job(
         config,
         payload["benchmark"],
         payload["accesses"],
         payload["seed"],
         payload["threads"],
+        str(payload.get("fidelity", "exact")),
     )
     encoded = store.encode_result(result)
     encoded["_obs"] = {
@@ -412,6 +472,10 @@ def run_jobs(
         pending: List[_Pending] = []
         for index, job in enumerate(specs):
             job, key, spec, config = prepare(job)
+            if job.fidelity == "fast":
+                stats.fast_jobs += 1
+            else:
+                stats.exact_jobs += 1
             found, source = lookup(key, spec, active_store)
             if found is not None:
                 results[index] = found
@@ -475,8 +539,8 @@ def _run_one_serial(
     """Execute one job in this process (the fallback of last resort)."""
     _, job, _, _, config = item
     t0 = perf_counter()
-    result = runner.simulate_job(config, job.benchmark, job.accesses,
-                                 job.seed, job.threads)
+    result = compute_job(config, job.benchmark, job.accesses, job.seed,
+                      job.threads, job.fidelity)
     stats.executed_serial += 1
     obs.job_done("serial", perf_counter() - t0)
     return _finish(item, result, active_store)

@@ -3,10 +3,11 @@
 :class:`WorkerAgent` wraps the exact execution path a local sweep uses
 — :func:`repro.experiments.sweep.prepare` for identity,
 :func:`repro.experiments.sweep.lookup` for the local cache/store
-read-through, :func:`repro.experiments.runner.simulate_job` to actually
-simulate — so a result computed by a fabric worker is field-for-field
-the result a serial ``run_suite`` would produce, stored under the same
-SHA-256 key.
+read-through, :func:`repro.experiments.sweep.compute_job` to actually
+simulate (dispatching exact jobs to the cycle-accurate simulator and
+fast jobs to :mod:`repro.fastsim`) — so a result computed by a fabric
+worker is field-for-field the result a serial ``run_suite`` would
+produce, stored under the same SHA-256 key.
 
 Robustness:
 
@@ -175,8 +176,9 @@ class WorkerAgent:
                     "error": None,
                 }
             t0 = perf_counter()
-            result = runner.simulate_job(
-                config, job.benchmark, job.accesses, job.seed, job.threads
+            result = sweep.compute_job(
+                config, job.benchmark, job.accesses, job.seed, job.threads,
+                job.fidelity,
             )
             seconds = perf_counter() - t0
             runner.seed_cache(cache_key, result)

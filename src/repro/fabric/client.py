@@ -15,6 +15,7 @@ retryable — the agent backs off and retries, ``watch`` keeps polling.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 import urllib.error
@@ -86,12 +87,44 @@ class FabricClient:
         threads: int = 1,
         scheduler: str = "ahb",
         priority: int = 0,
+        fidelity: str = "exact",
     ) -> Dict[str, object]:
-        """Submit a grid; returns the ``sweep_accepted`` document."""
-        request = protocol.sweep_request(
-            benchmarks, configs, accesses=accesses, seed=seed,
-            threads=threads, scheduler=scheduler, priority=priority,
-        )
+        """Submit a grid; returns the ``sweep_accepted`` document.
+
+        ``fidelity`` follows docs/fidelity.md: "exact" submits the
+        plain grid; "fast" (and "auto", which degrades to it here —
+        decision-boundary escalation needs a local orchestrator loop)
+        lowers the sweep client-side into fast-tier jobs for every cell
+        *plus* the FidelityGate's deterministic exact validation sample,
+        so the completed sweep contains everything
+        :meth:`fetch_calibrated_suite` needs to attach error bars.
+        """
+        if fidelity == "exact":
+            request = protocol.sweep_request(
+                benchmarks, configs, accesses=accesses, seed=seed,
+                threads=threads, scheduler=scheduler, priority=priority,
+            )
+        else:
+            from repro.experiments import sweep as sweep_mod
+            from repro.fastsim.gate import FidelityGate
+
+            fast_jobs = [
+                job.resolve()
+                for job in sweep_mod.expand_grid(
+                    benchmarks, configs, accesses=accesses, seed=seed,
+                    threads=threads, scheduler=scheduler, fidelity="fast",
+                )
+            ]
+            keys = [
+                store.job_key(sweep_mod.prepare(job)[2]) for job in fast_jobs
+            ]
+            validation = [
+                dataclasses.replace(fast_jobs[i], fidelity="exact")
+                for i in FidelityGate().select(keys)
+            ]
+            request = protocol.sweep_request_jobs(
+                fast_jobs + validation, priority=priority
+            )
         reply = self._call("/v1/sweeps", request)
         protocol.check_envelope(reply, "sweep_accepted")
         return dict(reply)
@@ -166,12 +199,54 @@ class FabricClient:
     def fetch_suite(
         self, sweep_id: str
     ) -> Dict[str, Dict[str, RunResult]]:
-        """Results shaped like :func:`repro.experiments.runner.run_suite`."""
+        """Results shaped like :func:`repro.experiments.runner.run_suite`.
+
+        When a cell resolved at both tiers (a fast sweep's validation
+        sample) the exact result wins — later rows of the same cell
+        overwrite earlier ones, and validation jobs are submitted after
+        the fast grid.
+        """
         suite: Dict[str, Dict[str, RunResult]] = {}
         for benchmark, config, result in self.fetch_results(sweep_id):
             if result is not None:
                 suite.setdefault(benchmark, {})[config] = result
         return suite
+
+    def fetch_calibrated_suite(
+        self, sweep_id: str
+    ) -> Tuple[Dict[str, Dict[str, RunResult]], Optional[object]]:
+        """A fast sweep's suite with validated error bars attached.
+
+        Splits the sweep's rows by fidelity tier, calibrates a
+        :class:`~repro.fastsim.gate.CalibrationRecord` from every
+        (fast, exact) pair of the same cell, stamps the record's error
+        bars onto all fast results, and returns ``(suite, record)``
+        with exact results preferred per cell.  A sweep with no fast
+        rows (or no validation pairs) returns ``record=None``.
+        """
+        from repro.fastsim.gate import FidelityGate
+
+        fast_rows: Dict[Tuple[str, str], RunResult] = {}
+        exact_rows: Dict[Tuple[str, str], RunResult] = {}
+        for benchmark, config, result in self.fetch_results(sweep_id):
+            if result is None:
+                continue
+            tier = fast_rows if result.fidelity is not None else exact_rows
+            tier[(benchmark, config)] = result
+        pairs = [
+            (fast_rows[cell], exact_rows[cell])
+            for cell in sorted(fast_rows)
+            if cell in exact_rows
+        ]
+        record = None
+        if pairs:
+            record = FidelityGate().calibrate(pairs)
+            for result in fast_rows.values():
+                FidelityGate.attach(result, record)
+        suite: Dict[str, Dict[str, RunResult]] = {}
+        for cell, result in list(fast_rows.items()) + list(exact_rows.items()):
+            suite.setdefault(cell[0], {})[cell[1]] = result
+        return suite, record
 
     # -- worker transport (used by the agent) --------------------------
     def lease(

@@ -198,6 +198,7 @@ class Coordinator:
                         entry.job.benchmark, entry.job.config_name,
                         entry.job.accesses, entry.job.seed, entry.job.threads,
                         entry.job.scheduler, entry.job.mutate_key,
+                        fidelity=entry.job.fidelity,
                     ),
                     result,
                 )

@@ -35,13 +35,17 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import sweep
+from repro.fastsim.version import JOB_FIDELITIES
 
 #: Bumped on any incompatible wire change; both sides refuse mismatches.
-PROTOCOL_VERSION = 1
+#: 2: jobs carry a ``fidelity`` tier ("exact" or "fast") — version-1
+#: peers would reject the field, and silently dropping it would execute
+#: fast jobs at the wrong tier, so the change is incompatible.
+PROTOCOL_VERSION = 2
 
 #: Job fields as they appear on the wire (store-spec naming).
 _JOB_WIRE_FIELDS = ("benchmark", "config", "accesses", "seed", "threads",
-                    "scheduler")
+                    "scheduler", "fidelity")
 
 
 class ProtocolError(ValueError):
@@ -101,16 +105,27 @@ def encode_job(job: sweep.Job) -> Dict[str, object]:
         "seed": job.seed,
         "threads": job.threads,
         "scheduler": job.scheduler,
+        "fidelity": job.fidelity,
     }
 
 
 def decode_job(payload: object) -> sweep.Job:
-    """Inverse of :func:`encode_job`, with field validation."""
+    """Inverse of :func:`encode_job`, with field validation.
+
+    ``fidelity`` is optional on the way in (defaulting to "exact") but
+    must name a per-job tier — the "auto" *sweep* policy is lowered to
+    explicit fast + exact jobs before anything goes on the wire.
+    """
     if not isinstance(payload, Mapping):
         raise ProtocolError(f"job must be a JSON object, got {payload!r}")
     unknown = set(payload) - set(_JOB_WIRE_FIELDS)
     if unknown:
         raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+    fidelity = payload.get("fidelity", "exact")
+    if fidelity not in JOB_FIDELITIES:
+        raise ProtocolError(
+            f"job.fidelity must be one of {JOB_FIDELITIES}, got {fidelity!r}"
+        )
     return sweep.Job(
         benchmark=_require(payload, "benchmark", str, "job"),
         config_name=_require(payload, "config", str, "job"),
@@ -118,6 +133,7 @@ def decode_job(payload: object) -> sweep.Job:
         seed=_require(payload, "seed", int, "job"),
         threads=_require(payload, "threads", int, "job"),
         scheduler=_require(payload, "scheduler", str, "job"),
+        fidelity=fidelity,
     )
 
 
@@ -130,8 +146,14 @@ def sweep_request(
     threads: int = 1,
     scheduler: str = "ahb",
     priority: int = 0,
+    fidelity: str = "exact",
 ) -> Dict[str, object]:
-    """A grid submission: benchmarks x configs, local-sweep semantics."""
+    """A grid submission: benchmarks x configs, local-sweep semantics.
+
+    ``fidelity`` is the per-job tier applied to every grid cell; sweeps
+    that mix tiers (the fast tier's validation sample) submit an
+    explicit job list via :func:`sweep_request_jobs` instead.
+    """
     return envelope(
         "sweep_request",
         benchmarks=list(benchmarks),
@@ -140,6 +162,18 @@ def sweep_request(
         seed=seed,
         threads=threads,
         scheduler=scheduler,
+        priority=priority,
+        fidelity=fidelity,
+    )
+
+
+def sweep_request_jobs(
+    jobs: Sequence[sweep.Job], priority: int = 0
+) -> Dict[str, object]:
+    """An explicit-jobs submission (mixed-tier sweeps use this form)."""
+    return envelope(
+        "sweep_request",
+        jobs=[encode_job(job) for job in jobs],
         priority=priority,
     )
 
@@ -187,6 +221,13 @@ def parse_sweep_request(
                     f"sweep_request.{name} must be an int or null, got "
                     f"{value!r}"
                 )
+        fidelity = document.get("fidelity", "exact")
+        if fidelity not in JOB_FIDELITIES:
+            raise ProtocolError(
+                f"sweep_request.fidelity must be one of {JOB_FIDELITIES}, "
+                f"got {fidelity!r} (the \"auto\" policy is lowered to "
+                "explicit jobs before submission)"
+            )
         jobs = sweep.expand_grid(
             benchmarks,
             configs,
@@ -194,6 +235,7 @@ def parse_sweep_request(
             seed=document.get("seed"),
             threads=document.get("threads", 1),
             scheduler=document.get("scheduler", "ahb"),
+            fidelity=fidelity,
         )
     if not jobs:
         raise ProtocolError("sweep_request expands to zero jobs")

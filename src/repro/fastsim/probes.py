@@ -1,0 +1,77 @@
+"""Per-epoch probes for the fast model.
+
+The cycle-accurate simulator exposes :mod:`repro.telemetry.probes`; the
+fast model advances in the same SLH epochs, so it can expose the same
+kind of per-epoch series — congestion (utilisation, queue wait), stream
+behaviour (SLH bars, prefetch counts), and coverage — without any of
+the tracer machinery (there are no discrete events to trace: the model
+never executes them).
+
+Samples ride :class:`repro.telemetry.series.Series` ring buffers, so
+the bounded-storage guarantee and the ``(epoch, value)`` sample shape
+match the telemetry package, and the JSON export is shaped like the
+telemetry exporters' series files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping
+
+from repro.telemetry.series import Series
+
+
+class FastModelProbes:
+    """Collects one sample per fast-model epoch.
+
+    Pass an instance to :func:`repro.fastsim.model.predict` (or
+    ``simulate_job_fast``); afterwards ``series`` maps each probed
+    field to its :class:`~repro.telemetry.series.Series`.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self.series: Dict[str, Series] = {}
+        self.samples = 0
+
+    def sample(self, epoch: int, values: Mapping[str, object]) -> None:
+        """Record one epoch's worth of named values."""
+        self.samples += 1
+        for name, value in values.items():
+            series = self.series.get(name)
+            if series is None:
+                series = self.series[name] = Series(name, self.capacity)
+            series.record(epoch, value)
+
+    def rows(self, name: str) -> List[tuple]:
+        """The ``(epoch, value)`` samples of one series (oldest first)."""
+        series = self.series.get(name)
+        return list(series.samples()) if series is not None else []
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-shaped view: per-series samples plus drop counts."""
+        return {
+            "samples": self.samples,
+            "series": {
+                name: {
+                    "dropped": series.dropped,
+                    "values": [
+                        {"epoch": epoch, "value": value}
+                        for epoch, value in series.samples()
+                    ],
+                }
+                for name, series in sorted(self.series.items())
+            },
+        }
+
+    def export_json(self, path: str) -> None:
+        """Write :meth:`as_dict` as indented JSON (telemetry-style)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        return (
+            f"{self.samples} epoch samples across "
+            f"{len(self.series)} series"
+        )

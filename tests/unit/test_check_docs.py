@@ -62,15 +62,37 @@ class TestCheckLinks:
         assert "nonexistent.md" in problems[0]
 
     def test_existing_relative_target_ok(self, tmp_path):
-        (tmp_path / "other.md").write_text("hi\n")
+        (tmp_path / "other.md").write_text("# Sec\nhi\n")
         doc = tmp_path / "doc.md"
         text = "[ok](other.md) and [anchor](other.md#sec)\n"
         assert check_docs.check_links(str(doc), text) == []
 
-    def test_external_and_anchor_links_ignored(self, tmp_path):
+    def test_dead_anchor_reported(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Real heading\n")
         doc = tmp_path / "doc.md"
-        text = "[w](https://example.com) [m](mailto:a@b.c) [a](#local)\n"
+        problems = check_docs.check_links(
+            str(doc), "[x](other.md#no-such-section)\n"
+        )
+        assert len(problems) == 1
+        assert "no-such-section" in problems[0]
+
+    def test_anchor_slug_matches_github_style(self, tmp_path):
+        (tmp_path / "other.md").write_text("## The `fast` tier, explained!\n")
+        doc = tmp_path / "doc.md"
+        text = "[ok](other.md#the-fast-tier-explained)\n"
         assert check_docs.check_links(str(doc), text) == []
+
+    def test_external_links_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        text = "[w](https://example.com) [m](mailto:a@b.c)\n"
+        assert check_docs.check_links(str(doc), text) == []
+
+    def test_same_file_anchor_checked(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        text = "# Intro\n[ok](#intro) [bad](#missing)\n"
+        problems = check_docs.check_links(str(doc), text)
+        assert len(problems) == 1
+        assert "missing" in problems[0]
 
     def test_error_includes_line_number(self, tmp_path):
         doc = tmp_path / "doc.md"

@@ -165,3 +165,38 @@ class TestLintSubcommand:
     def test_lint_write_registry(self):
         args = _build_parser().parse_args(["lint", "--write-registry"])
         assert args.write_registry
+
+
+class TestFidelityFlags:
+    def test_sweep_fidelity_default_exact(self):
+        args = _build_parser().parse_args(["sweep", "-b", "milc"])
+        assert args.fidelity == "exact"
+
+    def test_sweep_fidelity_choices(self):
+        for tier in ("exact", "fast", "auto"):
+            args = _build_parser().parse_args(
+                ["sweep", "-b", "milc", "--fidelity", tier]
+            )
+            assert args.fidelity == tier
+
+    def test_sweep_fidelity_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["sweep", "-b", "milc", "--fidelity", "approximate"]
+            )
+
+    def test_fabric_submit_fidelity(self):
+        args = _build_parser().parse_args(
+            ["fabric", "submit", "--coordinator", "http://127.0.0.1:1",
+             "-b", "milc", "-c", "NP", "--fidelity", "fast"]
+        )
+        assert args.fidelity == "fast"
+
+    def test_fabric_submit_rejects_auto(self):
+        # escalation needs the local orchestrator loop; the fabric
+        # accepts per-job tiers only
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["fabric", "submit", "--coordinator", "http://127.0.0.1:1",
+                 "-b", "milc", "--fidelity", "auto"]
+            )

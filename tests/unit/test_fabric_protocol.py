@@ -181,3 +181,49 @@ class TestHeartbeat:
         message = protocol.envelope("heartbeat", worker="w1")
         with pytest.raises(ProtocolError, match="lease"):
             protocol.parse_heartbeat(message)
+
+
+class TestFidelityOnTheWire:
+    """Protocol v2: jobs carry their fidelity tier (docs/fidelity.md)."""
+
+    def test_protocol_version_is_2(self):
+        # v1 peers would silently run fast jobs exactly, so the field
+        # addition was a breaking bump
+        assert PROTOCOL_VERSION == 2
+
+    def test_fast_job_round_trip(self):
+        job = resolved_job(fidelity="fast")
+        decoded = protocol.decode_job(protocol.encode_job(job))
+        assert decoded == job
+        assert decoded.fidelity == "fast"
+
+    def test_missing_fidelity_defaults_to_exact(self):
+        payload = protocol.encode_job(resolved_job())
+        payload.pop("fidelity", None)
+        assert protocol.decode_job(payload).fidelity == "exact"
+
+    def test_unknown_fidelity_rejected(self):
+        payload = protocol.encode_job(resolved_job())
+        payload["fidelity"] = "approximate"
+        with pytest.raises(ProtocolError, match="fidelity"):
+            protocol.decode_job(payload)
+
+    def test_sweep_policy_auto_is_not_a_wire_tier(self):
+        payload = protocol.encode_job(resolved_job())
+        payload["fidelity"] = "auto"
+        with pytest.raises(ProtocolError, match="fidelity"):
+            protocol.decode_job(payload)
+
+    def test_grid_request_carries_fidelity(self):
+        request = protocol.sweep_request(
+            ["milc"], ["NP", "PS"], accesses=2000, seed=1, fidelity="fast"
+        )
+        jobs, _priority = protocol.parse_sweep_request(request)
+        assert [job.fidelity for job in jobs] == ["fast", "fast"]
+
+    def test_explicit_jobs_form_preserves_mixed_tiers(self):
+        jobs = [resolved_job(fidelity="fast"),
+                resolved_job(config_name="PS")]
+        request = protocol.sweep_request_jobs(jobs)
+        decoded, _priority = protocol.parse_sweep_request(request)
+        assert [job.fidelity for job in decoded] == ["fast", "exact"]

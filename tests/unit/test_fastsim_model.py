@@ -1,0 +1,104 @@
+"""Unit tests for the fast analytic model (docs/fidelity.md)."""
+
+from repro import generate_trace, get_profile, make_config
+from repro.fastsim import FastModelProbes, predict, simulate_job_fast
+from repro.fastsim.banktables import bank_table, clear_tables
+from repro.fastsim.version import FAST_MODEL_VERSION
+
+ACCESSES = 1500
+
+
+def trace_for(benchmark, seed=1):
+    return generate_trace(
+        get_profile(benchmark).workload, ACCESSES, seed=seed
+    )
+
+
+class TestPrediction:
+    def test_result_is_stamped_fast(self):
+        result = predict(make_config("PMS"), [trace_for("milc")])
+        assert result.fidelity == {
+            "tier": "fast", "model_version": FAST_MODEL_VERSION,
+        }
+        assert result.fidelity_tier == "fast"
+        assert result.error_bar("cycles") is None  # not yet calibrated
+
+    def test_deterministic(self):
+        a = predict(make_config("PMS"), [trace_for("milc")])
+        b = predict(make_config("PMS"), [trace_for("milc")])
+        assert a == b
+
+    def test_metrics_are_sane(self):
+        result = predict(make_config("PMS"), [trace_for("milc")])
+        assert result.cycles > 0
+        assert result.instructions >= ACCESSES  # accesses + gap work
+        assert 0.0 <= result.coverage <= 1.0
+        assert 0.0 <= result.useful_prefetch_fraction <= 1.0
+        assert result.power is not None and result.power.energy_uj > 0
+
+    def test_prefetching_configs_beat_np_on_streaming_workloads(self):
+        # GemsFDTD is long-stream dominated: any sane model must show
+        # the paper's qualitative ordering
+        # longer trace: the SLH needs a few epochs of warmup before
+        # ASD opens up, so coverage at unit-test scale would be noise
+        trace = generate_trace(
+            get_profile("GemsFDTD").workload, 6000, seed=1
+        )
+        np_result = predict(make_config("NP"), [trace])
+        ms = predict(make_config("MS"), [trace])
+        pms = predict(make_config("PMS"), [trace])
+        assert pms.cycles < np_result.cycles
+        assert ms.cycles < np_result.cycles
+        # MS sees every miss at the controller, so its coverage is the
+        # cleanest qualitative signal (PMS's PS engine absorbs streams
+        # before the MC sees them)
+        assert ms.coverage > 0.2
+        assert np_result.coverage == 0.0
+
+    def test_emits_fast_namespace_stats(self):
+        result = predict(make_config("PMS"), [trace_for("milc")])
+        assert any(key.startswith("fast.") for key in result.stats)
+
+    def test_simulate_job_fast_uses_the_trace_cache(self):
+        direct = predict(make_config("PMS"), [trace_for("milc")])
+        viajob = simulate_job_fast(make_config("PMS"), "milc", ACCESSES, 1)
+        assert viajob.cycles == direct.cycles
+
+
+class TestProbes:
+    def test_epoch_series_recorded(self):
+        probes = FastModelProbes()
+        predict(make_config("PMS"), [trace_for("milc")], probes=probes)
+        assert probes.samples > 0
+        assert probes.rows("rho"), "no utilisation samples"
+        for _epoch, rho in probes.rows("rho"):
+            assert 0.0 <= rho < 1.0
+        assert len(probes.rows("mc_reads")) == probes.samples
+
+    def test_as_dict_is_json_shaped(self):
+        probes = FastModelProbes()
+        predict(make_config("PMS"), [trace_for("milc")], probes=probes)
+        doc = probes.as_dict()
+        assert doc["samples"] == probes.samples
+        assert "rho" in doc["series"]
+
+
+class TestBankTables:
+    def setup_method(self):
+        clear_tables()
+
+    def test_open_page_orders_hit_empty_miss(self):
+        table = bank_table(make_config("NP").dram)
+        assert table.read_hit < table.read_empty < table.read_miss
+        assert table.write_hit < table.write_empty < table.write_miss
+
+    def test_closed_page_collapses_classes(self):
+        import dataclasses
+        dram = dataclasses.replace(make_config("NP").dram,
+                                   page_policy="closed")
+        table = bank_table(dram)
+        assert table.read_hit == table.read_miss == table.read_empty
+
+    def test_tables_are_cached_by_identity(self):
+        dram = make_config("NP").dram
+        assert bank_table(dram) is bank_table(dram)

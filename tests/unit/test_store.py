@@ -216,3 +216,68 @@ class TestEnvironment:
         base = store.job_key(sample_spec())
         monkeypatch.setattr(store, "STORE_VERSION", store.STORE_VERSION + 1)
         assert store.job_key(sample_spec()) != base
+
+
+class TestFidelityPayload:
+    """The result codec and key discipline for the fast tier
+    (docs/fidelity.md)."""
+
+    def fidelity_record(self):
+        return {
+            "tier": "fast",
+            "model_version": 1,
+            "error_bars": {"cycles": 0.051, "coverage": 0.031},
+            "calibration": {
+                "samples": 3,
+                "fraction": 0.2,
+                "model_version": 1,
+                "errors": {"cycles": {"max": 0.04, "mean": 0.02,
+                                      "bound": 0.051}},
+            },
+        }
+
+    def test_codec_round_trips_the_fidelity_field(self):
+        result = sample_result(fidelity=self.fidelity_record())
+        decoded = store.decode_result(store.encode_result(result))
+        assert decoded == result
+        assert decoded.fidelity["error_bars"]["cycles"] == 0.051
+
+    def test_round_trip_through_json_text(self):
+        result = sample_result(fidelity=self.fidelity_record())
+        payload = json.loads(json.dumps(store.encode_result(result)))
+        assert store.decode_result(payload) == result
+
+    def test_exact_payloads_omit_the_key(self):
+        assert "fidelity" not in store.encode_result(sample_result())
+
+    def test_store_round_trip_preserves_error_bars(self, tmp_path):
+        active = store.ResultStore(str(tmp_path))
+        spec = store.job_spec("tpcc", "PMS", 2000, 1, 1, "ahb", None,
+                              make_config("PMS"), fidelity="fast")
+        result = sample_result(fidelity=self.fidelity_record())
+        active.put(spec, result)
+        fetched = active.get(spec)
+        assert fetched == result
+        assert fetched.error_bar("cycles") == 0.051
+        assert fetched.fidelity_tier == "fast"
+
+    def test_exact_spec_shape_is_unchanged(self):
+        # pre-existing store entries must stay addressable
+        spec = sample_spec()
+        assert "fidelity" not in spec and "fast_model" not in spec
+
+    def test_fast_spec_keys_cover_the_model_version(self, monkeypatch):
+        from repro.fastsim import version as fv
+        config = make_config("PMS")
+        spec_v1 = store.job_spec("tpcc", "PMS", 2000, 1, 1, "ahb", None,
+                                 config, fidelity="fast")
+        monkeypatch.setattr(fv, "FAST_MODEL_VERSION",
+                            fv.FAST_MODEL_VERSION + 1)
+        spec_v2 = store.job_spec("tpcc", "PMS", 2000, 1, 1, "ahb", None,
+                                 config, fidelity="fast")
+        assert store.job_key(spec_v1) != store.job_key(spec_v2)
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            store.job_spec("tpcc", "PMS", 2000, 1, 1, "ahb", None,
+                           make_config("PMS"), fidelity="approximate")

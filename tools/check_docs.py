@@ -61,21 +61,54 @@ def extract_snippets(text: str) -> List[Tuple[int, str]]:
     return snippets
 
 
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def anchors_in(text: str) -> set:
+    """GitHub-style anchor slugs for every heading in markdown text."""
+    anchors = set()
+    for line in text.splitlines():
+        match = HEADING.match(line)
+        if not match:
+            continue
+        title = re.sub(r"[`*_]", "", match.group(1).strip())
+        slug = re.sub(r"[^\w\- ]", "", title.lower())
+        anchors.add(re.sub(r" ", "-", slug))
+    return anchors
+
+
+def heading_anchors(markdown_path: str) -> set:
+    with open(markdown_path, "r", encoding="utf-8") as handle:
+        return anchors_in(handle.read())
+
+
 def check_links(path: str, text: str) -> List[str]:
-    """Broken relative links in one markdown file."""
+    """Broken relative links (dead files *or* dead anchors)."""
     errors = []
+    base = os.path.dirname(os.path.abspath(path))
     for lineno, line in enumerate(text.splitlines(), start=1):
         for target in LINK.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            file_part = target.split("#", 1)[0]
+            file_part, _, anchor = target.partition("#")
             if not file_part:
+                # same-file fragment: resolve against the text in hand
+                if anchor and anchor.lower() not in anchors_in(text):
+                    errors.append(
+                        f"{path}:{lineno}: dead anchor -> {target} "
+                        f"(no such heading in this file)"
+                    )
                 continue
-            resolved = os.path.normpath(
-                os.path.join(os.path.dirname(os.path.abspath(path)), file_part)
-            )
+            resolved = os.path.normpath(os.path.join(base, file_part))
             if not os.path.exists(resolved):
                 errors.append(f"{path}:{lineno}: broken link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor.lower() not in heading_anchors(resolved):
+                    errors.append(
+                        f"{path}:{lineno}: dead anchor -> {target} "
+                        f"(no such heading in {os.path.relpath(resolved, ROOT)})"
+                    )
     return errors
 
 
