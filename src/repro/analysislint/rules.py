@@ -20,7 +20,9 @@ from repro.analysislint.core import Finding, SourceTree
 
 #: Simulated-machine packages: everything the main loop executes, plus
 #: the fast analytic surrogate — its predictions feed the same stores
-#: and plots, so it must be exactly as deterministic as the simulator.
+#: and plots, so it must be exactly as deterministic as the simulator —
+#: and the scenario tooling (trace loaders, adversarial fuzzer), whose
+#: whole contract is "same seed, same worst cases".
 SIM_PACKAGES: Set[str] = {
     "controller",
     "dram",
@@ -29,6 +31,7 @@ SIM_PACKAGES: Set[str] = {
     "prefetch",
     "system",
     "fastsim",
+    "scenarios",
 }
 
 #: Hot-path packages for the hygiene rule (per-tick object traffic).

@@ -9,7 +9,15 @@ Commands:
 * ``sweep``     — a benchmarks x configs grid, sharded across worker
   processes through the on-disk result store (docs/experiments.md)
 * ``figure``    — regenerate one paper figure/table by id
-* ``trace``     — generate and save a synthetic trace
+* ``trace``     — trace tooling (docs/scenarios.md): ``trace generate``
+  saves a synthetic trace, ``trace convert`` normalises an external
+  trace (ChampSim-style text or ``addr,rw[,tid]`` CSV, gzipped or
+  plain) to the internal format, ``trace calibrate`` measures the fast
+  model's error bars on a converted trace
+* ``fuzz``      — adversarial workload search over the synthetic
+  generator's parameter space (docs/scenarios.md): worst cases by a
+  pluggable objective, reproducible per seed, results deduped into
+  the store
 * ``cost``      — the hardware-cost table (Section 5.1)
 * ``telemetry`` — run one benchmark with full instrumentation and
   export/print the epoch-resolved series (see docs/telemetry.md)
@@ -43,8 +51,7 @@ from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.system.presets import ABLATION_CONFIGS, CONFIG_NAMES, make_config
-from repro.workloads.profiles import SUITES, get_profile
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.profiles import SUITES
 
 #: figure/table id -> (module, entry function, render function) names
 FIGURES = {
@@ -154,10 +161,71 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one paper artifact")
     figure.add_argument("id", choices=sorted(FIGURES))
 
-    trace = sub.add_parser("trace", help="generate and save a trace")
-    trace.add_argument("-b", "--benchmark", required=True)
-    trace.add_argument("-o", "--output", required=True)
-    common(trace)
+    trace = sub.add_parser(
+        "trace", help="trace tooling: generate / convert / calibrate"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tgen = trace_sub.add_parser(
+        "generate", help="generate and save a synthetic trace"
+    )
+    tgen.add_argument("-b", "--benchmark", required=True)
+    tgen.add_argument("-o", "--output", required=True)
+    common(tgen)
+
+    tconv = trace_sub.add_parser(
+        "convert",
+        help="convert an external trace (champsim/csv) to the "
+             "internal format",
+    )
+    tconv.add_argument("source", help="external trace file (.gz ok)")
+    tconv.add_argument("-o", "--output", required=True,
+                       help="internal-format output (.gz ok)")
+    tconv.add_argument("--format", dest="fmt", default=None,
+                       choices=("champsim", "csv"),
+                       help="input format (default: guess from the name)")
+    tconv.add_argument("--line-size", type=int, default=64, metavar="BYTES",
+                       help="byte line size of the input addresses "
+                            "(default 64; power of two)")
+    tconv.add_argument("--gap", type=int, default=20, metavar="N",
+                       help="instruction gap per access when the format "
+                            "carries no instruction counts (default 20)")
+    tconv.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="convert at most the first N records")
+
+    tcal = trace_sub.add_parser(
+        "calibrate",
+        help="calibrate the fast model's error bars on a converted trace",
+    )
+    tcal.add_argument("file", help="internal-format trace file")
+    tcal.add_argument("-c", "--configs", nargs="+", metavar="CONFIG",
+                      default=list(CONFIG_NAMES),
+                      help="configurations (default: NP PS MS PMS)")
+    tcal.add_argument("-n", "--accesses", type=int, default=None,
+                      help="replay at most N records (default: all)")
+    tcal.add_argument("--seed", type=int, default=1)
+    parallel(tcal)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="adversarial workload search (docs/scenarios.md)"
+    )
+    fuzz.add_argument("--budget", type=int, default=16, metavar="N",
+                      help="candidate workloads to evaluate (default 16)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="search seed; same seed, same worst cases")
+    fuzz.add_argument("--objective", default="waste",
+                      choices=("waste", "regret", "fidelity"),
+                      help="what to maximise (default waste: prefetches "
+                           "nobody reads)")
+    fuzz.add_argument("--top", type=int, default=8, metavar="K",
+                      help="worst cases to keep and report (default 8)")
+    fuzz.add_argument("--round-size", type=int, default=8, metavar="N",
+                      help="candidates per sweep round (default 8)")
+    fuzz.add_argument("-n", "--accesses", type=int, default=4000,
+                      help="trace length per evaluation (default 4000)")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    parallel(fuzz)
 
     cost = sub.add_parser("cost", help="hardware cost table")
     cost.add_argument("--threads", type=int, nargs="+", default=(1, 2, 4))
@@ -301,11 +369,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.experiments.runner import get_trace
     from repro.system.simulator import simulate
 
-    profile = get_profile(args.benchmark)
     traces = [
-        generate_trace(profile.workload, args.accesses, seed=args.seed + t)
+        get_trace(args.benchmark, args.accesses, seed=args.seed + t)
         for t in range(args.threads)
     ]
     config = make_config(args.config, threads=args.threads,
@@ -363,10 +431,10 @@ def _cmd_compare(args) -> int:
     if traced:
         # Traced runs are serial-only and never stored/cached: their
         # side effects (event logs, probe series) are the point.
+        from repro.experiments.runner import get_trace
         from repro.system.simulator import simulate
 
-        profile = get_profile(args.benchmark)
-        trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+        trace = get_trace(args.benchmark, args.accesses, seed=args.seed)
         results = {}
         for name in CONFIG_NAMES:
             events = (
@@ -676,13 +744,77 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    profile = get_profile(args.benchmark)
-    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
-    trace.save(args.output)
-    print(
-        f"wrote {len(trace)} records ({trace.unique_lines} unique lines, "
-        f"{trace.write_fraction * 100:.0f}% writes) to {args.output}"
+    if args.trace_command == "generate":
+        from repro.experiments.runner import get_trace
+
+        trace = get_trace(args.benchmark, args.accesses, seed=args.seed)
+        trace.save(args.output)
+        print(
+            f"wrote {len(trace)} records ({trace.unique_lines} unique "
+            f"lines, {trace.write_fraction * 100:.0f}% writes) to "
+            f"{args.output}"
+        )
+        return 0
+
+    if args.trace_command == "convert":
+        from repro.scenarios.loaders import convert_trace
+        from repro.workloads.dynamic import trace_benchmark
+
+        report = convert_trace(
+            args.source, args.output, fmt=args.fmt,
+            line_size=args.line_size, default_gap=args.gap,
+            limit=args.limit,
+        )
+        print(report.summary())
+        print(f"benchmark name: {trace_benchmark(args.output)}")
+        return 0
+
+    # trace calibrate
+    from repro.scenarios.calibrate import calibrate_trace
+
+    record, outcome = calibrate_trace(
+        args.file, configs=args.configs, accesses=args.accesses,
+        seed=args.seed, jobs=max(1, args.jobs or 1),
+        use_store=False if args.no_store else None,
     )
+    for result in outcome.results:
+        print(result.summary())
+    print(f"  {outcome.stats.describe()}")
+    print(f"  {record.summary()}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.scenarios.fuzzer import run_fuzz
+
+    report = run_fuzz(
+        budget=args.budget, seed=args.seed, objective=args.objective,
+        accesses=args.accesses, jobs=max(1, args.jobs or 1),
+        top=args.top, round_size=args.round_size,
+        use_store=False if args.no_store else None,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [result.name, result.origin, result.round, result.score,
+         result.metrics.get("useful_prefetch_fraction", 0.0) * 100]
+        for result in report.results
+    ]
+    print(
+        format_table(
+            ["worst case", "origin", "round", "score", "useful pf %"],
+            rows,
+            title=(f"fuzz[{report.objective}]: {report.evaluated} "
+                   f"candidates, seed {report.seed}"),
+        )
+    )
+    print(f"  baseline ({report.baseline.name}): "
+          f"score {report.baseline.score:.4f}")
+    print(f"  {report.summary()}")
+    print(f"  {report.stats.describe()}")
     return 0
 
 
@@ -694,11 +826,11 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
+    from repro.experiments.runner import get_trace
     from repro.system.simulator import simulate
     from repro.telemetry.session import TelemetrySession
 
-    profile = get_profile(args.benchmark)
-    trace = generate_trace(profile.workload, args.accesses, seed=args.seed)
+    trace = get_trace(args.benchmark, args.accesses, seed=args.seed)
     config = make_config(args.config)
     session = TelemetrySession(trace_events=args.events,
                                probe_interval=args.probe_interval)
@@ -749,6 +881,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "figure": lambda: _cmd_figure(args),
         "trace": lambda: _cmd_trace(args),
+        "fuzz": lambda: _cmd_fuzz(args),
         "cost": lambda: _cmd_cost(args),
         "telemetry": lambda: _cmd_telemetry(args),
         "obs": lambda: _cmd_obs(args),

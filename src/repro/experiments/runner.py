@@ -83,13 +83,24 @@ _sim_count = 0  # simulate() calls actually executed by this process
 
 
 def get_trace(benchmark: str, accesses: Optional[int] = None, seed: Optional[int] = None) -> Trace:
-    """Deterministic trace for a named benchmark (cached)."""
+    """Deterministic trace for a named benchmark (cached).
+
+    ``trace:<digest>:<path>`` names replay (a prefix of) a converted
+    external trace file instead of synthesising one; ``wl:<json>``
+    names synthesise from the inline-encoded workload.  Both resolve
+    identically in every process — see :mod:`repro.workloads.dynamic`.
+    """
     accesses = resolve_accesses(accesses)
     seed = default_seed() if seed is None else seed
     key = (benchmark, accesses, seed)
     if key not in _trace_cache:
-        profile = get_profile(benchmark)
-        _trace_cache[key] = generate_trace(profile.workload, accesses, seed=seed)
+        if benchmark.startswith("trace:"):
+            from repro.workloads.dynamic import load_trace_benchmark
+
+            _trace_cache[key] = load_trace_benchmark(benchmark, accesses)
+        else:
+            profile = get_profile(benchmark)
+            _trace_cache[key] = generate_trace(profile.workload, accesses, seed=seed)
     return _trace_cache[key]
 
 

@@ -8,6 +8,11 @@ mixture, direction mix, interleaving, arrival density, read/write mix —
 are controlled per benchmark (see DESIGN.md, substitution table).
 """
 
+from repro.workloads.dynamic import (
+    is_dynamic,
+    trace_benchmark,
+    workload_benchmark,
+)
 from repro.workloads.profiles import (
     BENCHMARKS,
     FOCUS_BENCHMARKS,
@@ -34,5 +39,8 @@ __all__ = [
     "WorkloadPhase",
     "generate_trace",
     "get_profile",
+    "is_dynamic",
     "suite_benchmarks",
+    "trace_benchmark",
+    "workload_benchmark",
 ]

@@ -340,7 +340,20 @@ FOCUS_BENCHMARKS: Tuple[str, ...] = (
 
 
 def get_profile(name: str) -> BenchmarkProfile:
-    """Look up a benchmark profile by name."""
+    """Look up a benchmark profile by name.
+
+    Besides the static registry, ``wl:<canonical-json>`` names resolve
+    to a dynamic profile carrying the decoded workload — the scheme the
+    adversarial fuzzer uses to run arbitrary candidate workloads
+    through the ordinary job path (see :mod:`repro.workloads.dynamic`).
+    """
+    if name.startswith("wl:"):
+        from repro.workloads.dynamic import resolve_workload
+
+        return BenchmarkProfile(
+            name=name, suite="dynamic", workload=resolve_workload(name),
+            description="inline-encoded dynamic workload",
+        )
     try:
         return BENCHMARKS[name]
     except KeyError:

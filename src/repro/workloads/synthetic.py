@@ -92,6 +92,8 @@ class StreamWorkload:
             raise ValueError("interleave must be >= 1")
         if self.gap_mean < 0:
             raise ValueError("gap_mean must be non-negative")
+        if any(phase.weight < 0 for phase in self.phases):
+            raise ValueError("phase weights must be non-negative")
 
     def with_overrides(self, phase: WorkloadPhase) -> "StreamWorkload":
         """This workload with a phase's overrides applied."""
@@ -211,6 +213,11 @@ def generate_trace(
         remaining = n_accesses
         while remaining > 0:
             for phase in workload.phases:
+                if phase.weight == 0:
+                    # A zero-weight phase is "not present in this mix",
+                    # not "present one access per round": the >=1 clamp
+                    # below exists so tiny positive weights still appear.
+                    continue
                 count = int(round(workload.phase_round * phase.weight / total_weight))
                 count = min(max(count, 1), remaining)
                 _generate_segment(

@@ -7,15 +7,25 @@ view used at API boundaries.
 
 Traces round-trip through a simple text format (one record per line,
 ``gap line rw``) so generated workloads can be inspected, stored, and
-replayed.
+replayed.  Paths ending in ``.gz`` are read and written gzip-compressed
+transparently (converted external traces can be large —
+docs/scenarios.md).
 """
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 RawRecord = Tuple[int, int, bool]
+
+
+def open_text(path: str, mode: str = "r") -> IO[str]:
+    """Open a text file, transparently gzipped when the path ends ``.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 @dataclass(frozen=True)
@@ -101,20 +111,46 @@ class Trace:
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
         """Write the trace in the one-record-per-line text format."""
-        with open(path, "w") as f:
+        with open_text(path, "w") as f:
             f.write(f"# trace {self.name}\n")
             for gap, line, is_write in self.records:
                 f.write(f"{gap} {line} {int(is_write)}\n")
 
     @classmethod
-    def load(cls, path: str, name: str = "") -> "Trace":
-        """Read a trace written by :meth:`save`."""
+    def load(cls, path: str, name: str = "", limit: Optional[int] = None) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        Malformed lines raise a :class:`ValueError` naming the file,
+        the 1-based line number, and the offending text; ``gap`` must
+        be non-negative (a negative gap would run the core's
+        instruction clock backwards).  ``limit`` caps the number of
+        records read (replay prefixes of huge converted traces).
+        """
         records: List[RawRecord] = []
-        with open(path) as f:
-            for raw in f:
+        with open_text(path) as f:
+            for lineno, raw in enumerate(f, start=1):
                 raw = raw.strip()
                 if not raw or raw.startswith("#"):
                     continue
-                gap_s, line_s, w_s = raw.split()
-                records.append((int(gap_s), int(line_s), bool(int(w_s))))
+                parts = raw.split()
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed trace record {raw!r} "
+                        f"(expected 'gap line rw', got {len(parts)} fields)"
+                    )
+                try:
+                    gap, line, w = int(parts[0]), int(parts[1]), int(parts[2])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-integer field in trace "
+                        f"record {raw!r} (expected 'gap line rw')"
+                    ) from None
+                if gap < 0:
+                    raise ValueError(
+                        f"{path}:{lineno}: negative gap {gap} in trace "
+                        f"record {raw!r} (gaps are instruction counts)"
+                    )
+                records.append((gap, line, bool(w)))
+                if limit is not None and len(records) >= limit:
+                    break
         return cls(records, name or path)

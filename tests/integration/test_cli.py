@@ -48,7 +48,8 @@ class TestCompare:
 class TestTrace:
     def test_trace_roundtrip(self, tmp_path, capsys):
         path = tmp_path / "t.trace"
-        assert main(["trace", "-b", "tonto", "-o", str(path), "-n", "500"]) == 0
+        assert main(["trace", "generate", "-b", "tonto", "-o", str(path),
+                     "-n", "500"]) == 0
         assert "wrote 500 records" in capsys.readouterr().out
         from repro.workloads.trace import Trace
 

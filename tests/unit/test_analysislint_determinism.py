@@ -128,3 +128,34 @@ class TestRealTreeClean:
     def test_simulator_packages_pass(self, rule_cls):
         findings = rule_cls().check(real_tree())
         assert findings == [], [f.render() for f in findings]
+
+
+class TestScenariosScope:
+    """repro.scenarios is in the determinism scope: the fuzzer's
+    contract is "same seed, same worst cases" and the trace loaders
+    feed store-keyed benchmarks, so every DET rule must fire on a
+    violating scenarios module exactly as under repro/controller/."""
+
+    @pytest.fixture(scope="class")
+    def scenarios_tree(self):
+        return mount(("det_violations.py", "src/repro/scenarios/fuzzer_bad.py"))
+
+    def test_det001_wallclock_fires(self, scenarios_tree):
+        findings = WallClockRule().check(scenarios_tree)
+        assert len(findings) == 2
+        assert all(f.rule == "DET001" for f in findings)
+
+    def test_det002_unseeded_random_fires(self, scenarios_tree):
+        findings = UnseededRandomRule().check(scenarios_tree)
+        assert sorted(f.line for f in findings) == [16, 17]
+        assert all(f.rule == "DET002" for f in findings)
+
+    def test_det003_urandom_fires(self, scenarios_tree):
+        findings = UrandomRule().check(scenarios_tree)
+        assert len(findings) == 1
+        assert findings[0].rule == "DET003"
+
+    def test_det004_set_iteration_fires(self, scenarios_tree):
+        findings = SetIterationRule().check(scenarios_tree)
+        assert len(findings) == 3
+        assert all(f.rule == "DET004" for f in findings)

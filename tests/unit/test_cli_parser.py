@@ -200,3 +200,81 @@ class TestFidelityFlags:
                 ["fabric", "submit", "--coordinator", "http://127.0.0.1:1",
                  "-b", "milc", "--fidelity", "auto"]
             )
+
+
+class TestTraceSubcommands:
+    def test_generate_defaults(self):
+        args = _build_parser().parse_args(
+            ["trace", "generate", "-b", "milc", "-o", "out.trace"]
+        )
+        assert args.trace_command == "generate"
+        assert args.benchmark == "milc"
+        assert args.output == "out.trace"
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["trace", "generate", "-b", "milc"])
+
+    def test_convert_defaults(self):
+        args = _build_parser().parse_args(
+            ["trace", "convert", "in.csv", "-o", "out.trace"]
+        )
+        assert args.trace_command == "convert"
+        assert args.source == "in.csv"
+        assert args.fmt is None
+        assert args.line_size == 64
+        assert args.gap == 20
+        assert args.limit is None
+
+    def test_convert_format_choices(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["trace", "convert", "in.vcd", "-o", "o", "--format", "vcd"]
+            )
+
+    def test_calibrate_flags(self):
+        args = _build_parser().parse_args(
+            ["trace", "calibrate", "t.trace", "-c", "NP", "PMS",
+             "-n", "500", "-j", "2"]
+        )
+        assert args.trace_command == "calibrate"
+        assert args.file == "t.trace"
+        assert args.configs == ["NP", "PMS"]
+        assert args.accesses == 500
+        assert args.jobs == 2
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["trace"])
+
+
+class TestFuzzSubcommand:
+    def test_defaults(self):
+        args = _build_parser().parse_args(["fuzz"])
+        assert args.budget == 16
+        assert args.seed == 0
+        assert args.objective == "waste"
+        assert args.top == 8
+        assert args.round_size == 8
+        assert args.accesses == 4000
+        assert not args.json
+        assert not args.no_store
+
+    def test_full_flag_set(self):
+        args = _build_parser().parse_args(
+            ["fuzz", "--budget", "32", "--seed", "7",
+             "--objective", "regret", "--top", "4", "--round-size", "16",
+             "-n", "2000", "-j", "4", "--no-store", "--json"]
+        )
+        assert args.budget == 32
+        assert args.seed == 7
+        assert args.objective == "regret"
+        assert args.top == 4
+        assert args.round_size == 16
+        assert args.accesses == 2000
+        assert args.jobs == 4
+        assert args.no_store and args.json
+
+    def test_objective_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fuzz", "--objective", "speed"])

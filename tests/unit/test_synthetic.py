@@ -172,3 +172,49 @@ class TestPhases:
         )
         trace = generate_trace(wl, 300, seed=1)
         assert sum(r[0] for r in trace.records) > 0
+
+
+class TestPhaseWeightFixes:
+    def test_negative_phase_weight_rejected(self):
+        wl = simple_workload(
+            phases=(WorkloadPhase(weight=-0.5), WorkloadPhase(weight=1.5)),
+            phase_round=50,
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            wl.validate()
+
+    def test_negative_phase_weight_rejected_at_generation(self):
+        wl = simple_workload(
+            phases=(WorkloadPhase(weight=-0.5), WorkloadPhase(weight=1.5)),
+            phase_round=50,
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_trace(wl, 100)
+
+    def test_zero_weight_phase_is_skipped(self):
+        # Pre-fix, the >=1 clamp forced one access per round from the
+        # zero-weight phase; its huge gap override would leak through.
+        wl = simple_workload(
+            gap_mean=0.0,
+            phases=(
+                WorkloadPhase(weight=0.0, gap_mean=500.0),
+                WorkloadPhase(weight=1.0),
+            ),
+            phase_round=50,
+        )
+        trace = generate_trace(wl, 500, seed=2)
+        assert len(trace) == 500
+        assert sum(r[0] for r in trace.records) == 0
+
+    def test_zero_weight_phase_matches_absent_phase(self):
+        with_zero = simple_workload(
+            phases=(
+                WorkloadPhase(weight=0.0, length_dist={1: 1.0}),
+                WorkloadPhase(weight=1.0),
+            ),
+            phase_round=50,
+        )
+        lines = [r[1] for r in generate_trace(with_zero, 300, seed=3).records]
+        # every access comes from the weight-1.0 phase's 4-line streams
+        runs = sum(1 for a, b in zip(lines, lines[1:]) if b - a == 1)
+        assert runs > len(lines) // 2

@@ -1,6 +1,8 @@
 """Unit tests for the trace format."""
 
 
+import pytest
+
 from repro.workloads.trace import Trace, TraceRecord
 
 
@@ -42,3 +44,42 @@ class TestTrace:
         path.write_text("# header\n\n3 42 1\n")
         loaded = Trace.load(str(path))
         assert loaded.records == [(3, 42, True)]
+
+
+class TestLoadErrors:
+    def test_malformed_record_names_file_line_and_text(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# header\n0 1 0\n7 8\n")
+        with pytest.raises(ValueError) as err:
+            Trace.load(str(path))
+        message = str(err.value)
+        assert str(path) in message
+        assert ":3:" in message
+        assert "'7 8'" in message
+
+    def test_non_integer_field_names_offender(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0 abc 1\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            Trace.load(str(path))
+
+    def test_negative_gap_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0 1 0\n-3 2 0\n")
+        with pytest.raises(ValueError) as err:
+            Trace.load(str(path))
+        message = str(err.value)
+        assert "negative gap" in message
+        assert ":2:" in message
+
+    def test_load_limit_caps_records(self, tmp_path):
+        path = tmp_path / "t.trace"
+        Trace([(0, i, False) for i in range(10)]).save(str(path))
+        assert len(Trace.load(str(path), limit=4)) == 4
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        original = Trace([(1, 100, False), (2, 200, True)], name="gz")
+        original.save(str(path))
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        assert Trace.load(str(path)).records == original.records
