@@ -7,9 +7,9 @@ and *baselined* (reported, tolerated); baseline entries that no longer
 match anything are *stale* and reported so the file shrinks over time
 instead of rotting.
 
-Fingerprints are line-number-free (rule, path, enclosing symbol,
-message), so unrelated edits to a file do not un-baseline its
-grandfathered findings.
+Fingerprints are line- and path-free (rule, enclosing symbol,
+message), so neither unrelated edits to a file nor renaming/moving the
+file un-baseline its grandfathered findings.
 """
 
 from __future__ import annotations

@@ -30,8 +30,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 #: ``# lint: token`` — token may be a bare word, ``waive=RULE``, or a
-#: ``name(arg, arg)`` pragma.
-_LINT_COMMENT = re.compile(r"#\s*lint:\s*(.+?)\s*$")
+#: ``name(arg, arg)`` pragma.  Anchored to the *start* of the comment
+#: so prose that merely mentions the syntax is never parsed as a
+#: waiver (which would then be reported as stale).
+_LINT_COMMENT = re.compile(r"^#\s*lint:\s*(.+?)\s*$")
 _PRAGMA = re.compile(r"^(?P<name>[\w-]+)\s*\(\s*(?P<args>[^)]*)\)\s*$")
 
 
@@ -75,8 +77,15 @@ class Finding:
     waiver_hint: str = ""
 
     def fingerprint(self) -> str:
-        """Line-number-free identity used by the baseline file."""
-        return f"{self.rule}::{self.path}::{self.symbol}::{self.message}"
+        """Line- and path-free identity used by the baseline file.
+
+        Deliberately excludes ``path`` as well as ``line``: a pure file
+        move (rename, package shuffle) must not invalidate a baseline
+        entry.  ``symbol`` (class/function qualname) plus the message
+        text is unique enough in practice — a same-named symbol with
+        the same defect in two files is the same debt either way.
+        """
+        return f"{self.rule}::{self.symbol}::{self.message}"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -107,6 +116,9 @@ class SourceFile:
         self.tree = ast.parse(text, filename=path)
         self.waivers: Dict[int, List[Waiver]] = {}
         self.pragmas: List[Pragma] = []
+        #: ``(line, token)`` of every waiver that suppressed something
+        #: this run — the complement feeds stale-waiver reporting.
+        self.used_waivers: Set[Tuple[int, str]] = set()
         self._collect_comments(text)
         #: child AST node -> parent, for symbol/qualname resolution
         self._parents: Dict[ast.AST, ast.AST] = {}
@@ -155,8 +167,21 @@ class SourceFile:
         for line in lines:
             for waiver in self.waivers.get(line, ()):
                 if waiver.waives(rule_id, shorthand):
+                    self.used_waivers.add((waiver.line, waiver.token))
                     return True
         return False
+
+    def unused_waivers(self) -> List[Waiver]:
+        """Waivers that suppressed nothing in the rules run so far.
+
+        Only meaningful after the *full* catalogue ran (a narrowed rule
+        set would mark everything else's waivers stale)."""
+        out = []
+        for line in sorted(self.waivers):
+            for waiver in self.waivers[line]:
+                if (waiver.line, waiver.token) not in self.used_waivers:
+                    out.append(waiver)
+        return out
 
     # -- structure ----------------------------------------------------
     def parent(self, node: ast.AST) -> Optional[ast.AST]:

@@ -29,12 +29,9 @@ from __future__ import annotations
 import ast
 from typing import Iterable, List, Set
 
+from repro.analysislint.config import LintConfig
 from repro.analysislint.core import Finding, SourceFile, SourceTree, call_name
-from repro.analysislint.rules import (
-    SIM_PACKAGES,
-    WALLCLOCK_ALLOWLIST,
-    Rule,
-)
+from repro.analysislint.rules import Rule
 
 _WALLCLOCK_CALLS = {
     "time.time",
@@ -68,13 +65,13 @@ _RANDOM_FUNCS = {
 _ENTROPY_CALLS = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
 
 
-def _allowlisted(sf: SourceFile) -> bool:
-    return any(marker in sf.relpath for marker in WALLCLOCK_ALLOWLIST)
+def _allowlisted(sf: SourceFile, config: LintConfig) -> bool:
+    return any(marker in sf.relpath for marker in config.wallclock_allowlist)
 
 
-def _sim_files(tree: SourceTree) -> Iterable[SourceFile]:
-    for sf in tree.in_packages(SIM_PACKAGES):
-        if not _allowlisted(sf):
+def _sim_files(tree: SourceTree, config: LintConfig) -> Iterable[SourceFile]:
+    for sf in tree.in_packages(set(config.sim_packages)):
+        if not _allowlisted(sf, config):
             yield sf
 
 
@@ -86,7 +83,7 @@ class WallClockRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in _sim_files(tree):
+        for sf in _sim_files(tree, self.config):
             for node in ast.walk(sf.tree):
                 if not isinstance(node, ast.Call):
                     continue
@@ -114,7 +111,7 @@ class UnseededRandomRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in _sim_files(tree):
+        for sf in _sim_files(tree, self.config):
             # names imported from the random module in this file
             imported: Set[str] = set()
             for node in ast.walk(sf.tree):
@@ -154,7 +151,7 @@ class UrandomRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in _sim_files(tree):
+        for sf in _sim_files(tree, self.config):
             for node in ast.walk(sf.tree):
                 if not isinstance(node, ast.Call):
                     continue
@@ -182,7 +179,7 @@ class SetIterationRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in _sim_files(tree):
+        for sf in _sim_files(tree, self.config):
             set_names = self._set_bindings(sf)
             for node in ast.walk(sf.tree):
                 if not isinstance(node, (ast.For, ast.comprehension)):

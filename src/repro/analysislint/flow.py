@@ -1,0 +1,436 @@
+"""Per-function control-flow graphs and light dataflow analyses.
+
+The original twelve rules are single-statement pattern checks; the
+CONC/ATO rule families have to answer *path* questions — "is this
+thread joined on every way out of the function?", "does this socket get
+closed when the body raises?" — which need a real control-flow graph.
+This module builds one per function, statement-granular, over the
+already-parsed :class:`~repro.analysislint.core.SourceFile` AST:
+
+* :func:`build_cfg` — entry/exit nodes plus one node per statement,
+  with edges for ``if``/``while``/``for``/``try``/``with``/``return``/
+  ``raise``/``break``/``continue``.  ``try`` bodies get exceptional
+  edges into their handlers, and ``return``/``raise`` are routed
+  through every enclosing ``finally`` — so a release that lives in a
+  ``finally`` block correctly dominates early exits.
+* :func:`reaching_definitions` — the classic forward may-analysis over
+  that CFG; used to tell whether a tracked binding is still the
+  acquisition when a release site is reached.
+* :func:`can_reach_exit` — the existential path query the obligation
+  rules are built on: is there a path from a node to function exit that
+  avoids every "discharging" node?
+* :func:`escaping_names` — names whose value leaves the function
+  (returned, yielded, stored on an object, passed to a call), which
+  transfers the cleanup obligation to the caller.
+* :func:`called_self_methods` — the one-level ``self.X(...)`` call
+  expansion the PAR rules pioneered, factored here so every
+  flow-adjacent rule shares it.
+
+Exceptions raised by arbitrary calls are *not* modelled as edges;
+``try``/``with`` are the repo's sanctioned cleanup idioms and both are.
+That keeps the graph small and the rules' false-positive rate near
+zero — see docs/linting.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "assigned_names",
+    "build_cfg",
+    "called_self_methods",
+    "can_reach_exit",
+    "escaping_names",
+    "reaching_definitions",
+    "walk_stmt_header",
+]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or the synthetic entry/exit/finally markers)."""
+
+    id: int
+    stmt: Optional[ast.AST]  # None for synthetic nodes
+    label: str = ""  # "entry" | "exit" | "finally" | ""
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    func: ast.FunctionDef
+    nodes: List[CFGNode] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def node_of(self, stmt: ast.AST) -> Optional[int]:
+        """The node id holding ``stmt`` (header statements only)."""
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node.id
+        return None
+
+    def preds(self) -> Dict[int, List[int]]:
+        """Predecessor lists (computed on demand; the builder stores succs)."""
+        out: Dict[int, List[int]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for succ in node.succs:
+                out[succ].append(node.id)
+        return out
+
+
+@dataclass
+class _Loop:
+    head: int
+    breaks: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _FinallyFrame:
+    """Abrupt-exit sources waiting to be routed through a ``finally``."""
+
+    abrupts: List[int] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.cfg = CFG(func=func)
+        self._loops: List[_Loop] = []
+        self._finally_frames: List[_FinallyFrame] = []
+        self._exit_sources: List[int] = []
+
+    # -- plumbing -----------------------------------------------------
+    def _new(self, stmt: Optional[ast.AST] = None, label: str = "") -> int:
+        node = CFGNode(id=len(self.cfg.nodes), stmt=stmt, label=label)
+        self.cfg.nodes.append(node)
+        return node.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        succs = self.cfg.nodes[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    def _to_exit(self, src: int) -> None:
+        """Route an abrupt exit through enclosing ``finally`` frames."""
+        if self._finally_frames:
+            self._finally_frames[-1].abrupts.append(src)
+        else:
+            self._exit_sources.append(src)
+
+    # -- construction -------------------------------------------------
+    def build(self) -> CFG:
+        entry = self._new(label="entry")
+        self.cfg.entry = entry
+        out = self._stmts(self.func.body, [entry])
+        exit_id = self._new(label="exit")
+        self.cfg.exit = exit_id
+        for src in out + self._exit_sources:
+            self._edge(src, exit_id)
+        return self.cfg
+
+    def _stmts(self, body: List[ast.stmt], preds: List[int]) -> List[int]:
+        """Build ``body``; returns the nodes that fall through its end."""
+        for stmt in body:
+            node = self._new(stmt)
+            for pred in preds:
+                self._edge(pred, node)
+            preds = self._one(stmt, node)
+            if not preds:  # unreachable code after return/raise/...
+                break
+        return preds
+
+    def _one(self, stmt: ast.stmt, node: int) -> List[int]:
+        if isinstance(stmt, ast.If):
+            body_out = self._stmts(stmt.body, [node])
+            if stmt.orelse:
+                orelse_out = self._stmts(stmt.orelse, [node])
+            else:
+                orelse_out = [node]
+            return body_out + orelse_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            loop = _Loop(head=node)
+            self._loops.append(loop)
+            body_out = self._stmts(stmt.body, [node])
+            for src in body_out:
+                self._edge(src, node)
+            self._loops.pop()
+            orelse_out = (
+                self._stmts(stmt.orelse, [node]) if stmt.orelse else [node]
+            )
+            return loop.breaks + orelse_out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._stmts(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._to_exit(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1].breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(node, self._loops[-1].head)
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return [node]  # nested definitions are opaque statements
+        return [node]
+
+    def _try(self, stmt: ast.Try, node: int) -> List[int]:
+        frame = _FinallyFrame() if stmt.finalbody else None
+        if frame is not None:
+            self._finally_frames.append(frame)
+        first_body_node = len(self.cfg.nodes)
+        body_out = self._stmts(stmt.body, [node])
+        body_nodes = list(range(first_body_node, len(self.cfg.nodes)))
+        handler_outs: List[int] = []
+        for handler in stmt.handlers:
+            hnode = self._new(handler)
+            # any statement of the body may raise into this handler
+            self._edge(node, hnode)
+            for src in body_nodes:
+                self._edge(src, hnode)
+            handler_outs.extend(self._stmts(handler.body, [hnode]))
+        orelse_out = (
+            self._stmts(stmt.orelse, body_out) if stmt.orelse else body_out
+        )
+        normal_out = orelse_out + handler_outs
+        if frame is None:
+            return normal_out
+        self._finally_frames.pop()
+        fin_marker = self._new(label="finally")
+        for src in normal_out + frame.abrupts:
+            self._edge(src, fin_marker)
+        fin_out = self._stmts(stmt.finalbody, [fin_marker])
+        if frame.abrupts:
+            # the abrupt paths continue outward after the finally runs
+            for src in fin_out:
+                self._to_exit(src)
+        return fin_out
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Statement-level CFG of ``func`` (see the module docstring)."""
+    return _Builder(func).build()
+
+
+# ---------------------------------------------------------------------
+# dataflow: reaching definitions
+# ---------------------------------------------------------------------
+def assigned_names(stmt: Optional[ast.AST]) -> Set[str]:
+    """Simple names (re)bound by the *header* of one statement node.
+
+    Compound statements contribute only their own binding (the ``for``
+    target, the ``with ... as`` name, the handler name) — their bodies
+    are separate CFG nodes.
+    """
+    names: Set[str] = set()
+
+    def targets(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets(elt)
+        elif isinstance(node, ast.Starred):
+            targets(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.add(stmt.name)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, Set[Tuple[str, int]]]:
+    """IN sets of the classic forward may-analysis: per node, the
+    ``(name, defining-node)`` pairs that may reach it.  Function
+    parameters are definitions at the entry node."""
+    gen: Dict[int, Set[Tuple[str, int]]] = {}
+    killed_names: Dict[int, Set[str]] = {}
+    for node in cfg.nodes:
+        names = assigned_names(node.stmt)
+        if node.id == cfg.entry:
+            args = cfg.func.args
+            params = [
+                a.arg
+                for a in (
+                    list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                )
+            ]
+            if args.vararg:
+                params.append(args.vararg.arg)
+            if args.kwarg:
+                params.append(args.kwarg.arg)
+            names = names | set(params)
+        gen[node.id] = {(name, node.id) for name in names}
+        killed_names[node.id] = names
+    preds = cfg.preds()
+    in_sets: Dict[int, Set[Tuple[str, int]]] = {n.id: set() for n in cfg.nodes}
+    out_sets: Dict[int, Set[Tuple[str, int]]] = {n.id: set() for n in cfg.nodes}
+    work = [n.id for n in cfg.nodes]
+    while work:
+        nid = work.pop()
+        new_in: Set[Tuple[str, int]] = set()
+        for p in preds[nid]:
+            new_in |= out_sets[p]
+        survivors = {
+            d for d in new_in if d[0] not in killed_names[nid]
+        }
+        new_out = survivors | gen[nid]
+        in_sets[nid] = new_in
+        if new_out != out_sets[nid]:
+            out_sets[nid] = new_out
+            work.extend(self_succ for self_succ in cfg.nodes[nid].succs)
+    return in_sets
+
+
+def walk_stmt_header(stmt: Optional[ast.AST]):
+    """Walk one CFG statement node's *own* expressions.
+
+    Compound statements (``if``/``while``/``for``/``with``/``try``) own
+    only their header — their bodies are separate CFG nodes, so a stop
+    predicate that walked the whole subtree would wrongly credit a
+    nested ``join()``/``close()`` to the header node and hide the path
+    that branches around it.  Nested function/class definitions are
+    opaque.
+    """
+    if stmt is None:
+        return
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.target)
+        yield from ast.walk(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+            if item.optional_vars is not None:
+                yield from ast.walk(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield from ast.walk(stmt.type)
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    else:
+        yield from ast.walk(stmt)
+
+
+# ---------------------------------------------------------------------
+# path queries
+# ---------------------------------------------------------------------
+def can_reach_exit(
+    cfg: CFG, start: int, stop: Callable[[CFGNode], bool]
+) -> bool:
+    """Is there a path from ``start`` to exit avoiding ``stop`` nodes?
+
+    ``start`` itself is not tested against ``stop`` — the query is
+    about what happens *after* the obligation-creating statement.
+    """
+    seen = {start}
+    stack = list(cfg.nodes[start].succs)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = cfg.nodes[nid]
+        if nid == cfg.exit:
+            return True
+        if stop(node):
+            continue
+        stack.extend(node.succs)
+    return False
+
+
+# ---------------------------------------------------------------------
+# escape analysis
+# ---------------------------------------------------------------------
+def escaping_names(func: ast.FunctionDef) -> Set[str]:
+    """Names whose bound value may outlive the function call.
+
+    Conservative (a name escaping kills the cleanup obligation, so
+    over-approximating escapes only *silences* findings, never invents
+    them): returned or yielded, stored into an attribute/subscript/
+    global container, or passed as an argument to any call.  Being the
+    *receiver* of a method call (``v.close()``) is not an escape.
+    """
+    escapes: Set[str] = set()
+
+    def names_in(node: Optional[ast.AST]) -> Set[str]:
+        if node is None:
+            return set()
+        return {
+            n.id
+            for n in ast.walk(node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            escapes |= names_in(node.value)
+        elif isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            ):
+                escapes |= names_in(node.value)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                escapes |= names_in(node.value)
+        elif isinstance(node, ast.Call):
+            for arg in node.args:
+                escapes |= names_in(arg)
+            for kw in node.keywords:
+                escapes |= names_in(kw.value)
+    return escapes
+
+
+# ---------------------------------------------------------------------
+# one-level call expansion (shared with the PAR rules)
+# ---------------------------------------------------------------------
+def called_self_methods(func: ast.FunctionDef) -> Set[str]:
+    """Names of ``self.X(...)`` calls plus locally aliased bound methods
+    (``f = self.X`` followed by ``f(...)``)."""
+    aliases: Dict[str, str] = {}
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            aliases[node.targets[0].id] = node.value.attr
+        if isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id == "self"
+            ):
+                called.add(func_expr.attr)
+            elif isinstance(func_expr, ast.Name) and func_expr.id in aliases:
+                called.add(aliases[func_expr.id])
+    return called

@@ -20,7 +20,7 @@ import ast
 from typing import List
 
 from repro.analysislint.core import Finding, SourceTree, call_name
-from repro.analysislint.rules import HOT_PACKAGES, SIM_PACKAGES, Rule
+from repro.analysislint.rules import Rule
 
 _DATETIME_CALLS = {
     "datetime.now",
@@ -43,7 +43,7 @@ class SlotsRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in tree.in_packages(HOT_PACKAGES):
+        for sf in tree.in_packages(set(self.config.hot_packages)):
             for cls in sf.classes():
                 decorator = self._dataclass_decorator(cls)
                 if decorator is None:
@@ -99,7 +99,7 @@ class HotPathDatetimeRule(Rule):
 
     def check(self, tree: SourceTree) -> List[Finding]:
         findings: List[Finding] = []
-        for sf in tree.in_packages(SIM_PACKAGES):
+        for sf in tree.in_packages(set(self.config.sim_packages)):
             for node in ast.walk(sf.tree):
                 if not isinstance(node, ast.Call):
                     continue

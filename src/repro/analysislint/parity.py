@@ -24,15 +24,21 @@ import ast
 from typing import Dict, List, Set, Tuple
 
 from repro.analysislint.core import Finding, SourceFile, SourceTree
+from repro.analysislint.flow import called_self_methods as _called_self_methods
 from repro.analysislint.rules import Rule
 from repro.analysislint.statsmodel import scan_stats_usage
 
 #: The dual-path method pair this rule keys on.
 PAIR = ("tick", "tick_reference")
 
+#: The fast-forward pair PAR003 keys on.
+BULK_PAIR = ("tick", "bulk_tick")
 
-def _class_pairs(sf: SourceFile) -> List[Tuple[ast.ClassDef, Dict[str, ast.FunctionDef]]]:
-    """Classes defining both paths, with their full method tables."""
+
+def _class_pairs(
+    sf: SourceFile, pair: Tuple[str, str] = PAIR
+) -> List[Tuple[ast.ClassDef, Dict[str, ast.FunctionDef]]]:
+    """Classes defining both paths of ``pair``, with full method tables."""
     out = []
     for cls in sf.classes():
         methods = {
@@ -40,37 +46,13 @@ def _class_pairs(sf: SourceFile) -> List[Tuple[ast.ClassDef, Dict[str, ast.Funct
             for node in cls.body
             if isinstance(node, ast.FunctionDef)
         }
-        if all(name in methods for name in PAIR):
+        if all(name in methods for name in pair):
             out.append((cls, methods))
     return out
 
 
-def _called_self_methods(func: ast.FunctionDef) -> Set[str]:
-    """Names of ``self.X(...)`` calls plus locally aliased bound methods
-    (``f = self.X`` followed by ``f(...)``)."""
-    aliases: Dict[str, str] = {}
-    called: Set[str] = set()
-    for node in ast.walk(func):
-        if (
-            isinstance(node, ast.Assign)
-            and len(node.targets) == 1
-            and isinstance(node.targets[0], ast.Name)
-            and isinstance(node.value, ast.Attribute)
-            and isinstance(node.value.value, ast.Name)
-            and node.value.value.id == "self"
-        ):
-            aliases[node.targets[0].id] = node.value.attr
-        if isinstance(node, ast.Call):
-            func_expr = node.func
-            if (
-                isinstance(func_expr, ast.Attribute)
-                and isinstance(func_expr.value, ast.Name)
-                and func_expr.value.id == "self"
-            ):
-                called.add(func_expr.attr)
-            elif isinstance(func_expr, ast.Name) and func_expr.id in aliases:
-                called.add(aliases[func_expr.id])
-    return called
+# _called_self_methods lives in flow.py now (imported above) — the
+# CONC rules share the same one-level expansion.
 
 
 def _direct_event_kinds(func: ast.FunctionDef) -> Set[str]:
@@ -93,7 +75,11 @@ class _PairAnalysis:
     """Per-class key/event sets for both paths, shared by PAR001/2."""
 
     def __init__(
-        self, sf: SourceFile, cls: ast.ClassDef, methods: Dict[str, ast.FunctionDef]
+        self,
+        sf: SourceFile,
+        cls: ast.ClassDef,
+        methods: Dict[str, ast.FunctionDef],
+        pair: Tuple[str, str] = PAIR,
     ) -> None:
         self.sf = sf
         self.cls = cls
@@ -106,7 +92,7 @@ class _PairAnalysis:
             key_writes.setdefault(use.symbol, set()).update(use.keys)
         self.keys: Dict[str, Set[str]] = {}
         self.events: Dict[str, Set[str]] = {}
-        for name in PAIR:
+        for name in pair:
             func = methods[name]
             qual = sf.qualname(func)
             keys = set(key_writes.get(qual, ()))
@@ -121,22 +107,26 @@ class _PairAnalysis:
             self.events[name] = events
 
 
-def _analyses(tree: SourceTree) -> List[_PairAnalysis]:
+def _analyses(
+    tree: SourceTree, pair: Tuple[str, str] = PAIR
+) -> List[_PairAnalysis]:
     out = []
     for sf in tree:
-        for cls, methods in _class_pairs(sf):
-            out.append(_PairAnalysis(sf, cls, methods))
+        for cls, methods in _class_pairs(sf, pair):
+            out.append(_PairAnalysis(sf, cls, methods, pair))
     return out
 
 
-def _describe_divergence(a: Set[str], b: Set[str]) -> str:
-    only_tick = sorted(a - b)
-    only_ref = sorted(b - a)
+def _describe_divergence(
+    a: Set[str], b: Set[str], pair: Tuple[str, str] = PAIR
+) -> str:
+    only_a = sorted(a - b)
+    only_b = sorted(b - a)
     parts = []
-    if only_tick:
-        parts.append(f"only in tick: {', '.join(only_tick)}")
-    if only_ref:
-        parts.append(f"only in tick_reference: {', '.join(only_ref)}")
+    if only_a:
+        parts.append(f"only in {pair[0]}: {', '.join(only_a)}")
+    if only_b:
+        parts.append(f"only in {pair[1]}: {', '.join(only_b)}")
     return "; ".join(parts)
 
 
@@ -193,4 +183,58 @@ class EventParityRule(Rule):
                     pa.cls.name,
                 )
             )
+        return findings
+
+
+def _integral_keys(keys: Set[str]) -> Set[str]:
+    """The per-cycle accounting keys a fast-forward must keep exact.
+
+    ``bulk_tick`` only covers cycles where no command issues, so work
+    counters (issued reads/writes, prefetch traffic) legitimately exist
+    only on the ``tick`` side; what must match is the integral
+    bookkeeping every covered cycle contributes: the tick count and the
+    ``occ_*`` queue-occupancy integrals the utilization figures are
+    computed from.
+    """
+    return {k for k in keys if k == "ticks" or k.startswith("occ_")}
+
+
+class BulkTickParityRule(Rule):
+    """PAR003: ``bulk_tick`` fast-forward matches ``tick``'s integrals."""
+
+    id = "PAR003"
+    title = "bulk_tick must match tick's integral stats and tracer events"
+
+    def check(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for pa in _analyses(tree, BULK_PAIR):
+            line = pa.cls.lineno
+            tick_keys = _integral_keys(pa.keys[BULK_PAIR[0]])
+            bulk_keys = _integral_keys(pa.keys[BULK_PAIR[1]])
+            if tick_keys != bulk_keys and not pa.sf.waived(line, self.id):
+                findings.append(
+                    self.finding(
+                        pa.sf.relpath,
+                        line,
+                        f"{pa.cls.name}: fast-forward integral-stats "
+                        "divergence — "
+                        + _describe_divergence(tick_keys, bulk_keys, BULK_PAIR),
+                        pa.cls.name,
+                    )
+                )
+            tick_events = pa.events[BULK_PAIR[0]]
+            bulk_events = pa.events[BULK_PAIR[1]]
+            if tick_events != bulk_events and not pa.sf.waived(line, self.id):
+                findings.append(
+                    self.finding(
+                        pa.sf.relpath,
+                        line,
+                        f"{pa.cls.name}: fast-forward tracer-event "
+                        "divergence — "
+                        + _describe_divergence(
+                            tick_events, bulk_events, BULK_PAIR
+                        ),
+                        pa.cls.name,
+                    )
+                )
         return findings

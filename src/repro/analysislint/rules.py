@@ -14,36 +14,18 @@ for predictable reports.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
+from repro.analysislint.config import DEFAULT_CONFIG, LintConfig
 from repro.analysislint.core import Finding, SourceTree
 
-#: Simulated-machine packages: everything the main loop executes, plus
-#: the fast analytic surrogate — its predictions feed the same stores
-#: and plots, so it must be exactly as deterministic as the simulator —
-#: and the scenario tooling (trace loaders, adversarial fuzzer), whose
-#: whole contract is "same seed, same worst cases".
-SIM_PACKAGES: Set[str] = {
-    "controller",
-    "dram",
-    "cpu",
-    "cache",
-    "prefetch",
-    "system",
-    "fastsim",
-    "scenarios",
-}
-
-#: Hot-path packages for the hygiene rule (per-tick object traffic).
-HOT_PACKAGES: Set[str] = {"controller", "dram", "prefetch"}
-
-#: Modules allowlisted for wall-clock use: the tracer self-measures its
-#: overhead, the perf harness times the host, the observability package
-#: timestamps fleet-level records (snapshots, post-mortems, uptime),
-#: and the fabric's lease timers/heartbeats measure real elapsed time —
-#: all host-side concerns, never simulated time.
-WALLCLOCK_ALLOWLIST = ("repro/telemetry/", "repro/perf.py", "repro/obs/",
-                       "repro/fabric/")
+#: Kept as module-level aliases of the config defaults for callers that
+#: predate ``[tool.repro.lint]``; rules themselves read ``self.config``
+#: so pyproject overrides take effect.  See config.py for rationale on
+#: each scope (sim determinism, hot-path hygiene, wall-clock sanctum).
+SIM_PACKAGES: Set[str] = set(DEFAULT_CONFIG.sim_packages)
+HOT_PACKAGES: Set[str] = set(DEFAULT_CONFIG.hot_packages)
+WALLCLOCK_ALLOWLIST = DEFAULT_CONFIG.wallclock_allowlist
 
 
 class Rule:
@@ -52,6 +34,10 @@ class Rule:
     id: str = ""
     title: str = ""
     shorthand: str = ""  # bare waiver token ('' = waive=<id> only)
+    #: effective options; ``all_rules(config=...)`` overrides per
+    #: instance, the class default keeps directly-constructed rules
+    #: (tests, narrowed runs) on the committed behavior
+    config: LintConfig = DEFAULT_CONFIG
 
     def check(self, tree: SourceTree) -> List[Finding]:
         raise NotImplementedError
@@ -70,8 +56,19 @@ class Rule:
         )
 
 
-def all_rules() -> Sequence[Rule]:
-    """Fresh instances of the full catalogue (import-cycle free)."""
+def all_rules(config: Optional[LintConfig] = None) -> Sequence[Rule]:
+    """Fresh instances of the full catalogue (import-cycle free).
+
+    ``config`` (usually :func:`~repro.analysislint.config.load_config`
+    of the repo root) is attached to every instance; ``None`` keeps the
+    committed defaults.
+    """
+    from repro.analysislint.atomic import AtomicWriteRule
+    from repro.analysislint.concurrency import (
+        LockBlockingRule,
+        ResourceReleaseRule,
+        ThreadLifecycleRule,
+    )
     from repro.analysislint.cycles import CycleAccountingRule
     from repro.analysislint.determinism import (
         SetIterationRule,
@@ -80,27 +77,54 @@ def all_rules() -> Sequence[Rule]:
         WallClockRule,
     )
     from repro.analysislint.hygiene import HotPathDatetimeRule, SlotsRule
-    from repro.analysislint.parity import EventParityRule, StatsParityRule
+    from repro.analysislint.obsmetrics import (
+        MetricNameRule,
+        MetricRegistryRule,
+        UnknownMetricReadRule,
+    )
+    from repro.analysislint.parity import (
+        BulkTickParityRule,
+        EventParityRule,
+        StatsParityRule,
+    )
     from repro.analysislint.registry import (
         DynamicKeyRule,
         RegistryRule,
         UnwrittenReadRule,
     )
+    from repro.analysislint.wireproto import (
+        WireHandlerParityRule,
+        WireVersionRule,
+    )
 
-    return (
+    rules = (
         WallClockRule(),
         UnseededRandomRule(),
         UrandomRule(),
         SetIterationRule(),
         StatsParityRule(),
         EventParityRule(),
+        BulkTickParityRule(),
         CycleAccountingRule(),
         RegistryRule(),
         DynamicKeyRule(),
         UnwrittenReadRule(),
         SlotsRule(),
         HotPathDatetimeRule(),
+        ThreadLifecycleRule(),
+        ResourceReleaseRule(),
+        LockBlockingRule(),
+        AtomicWriteRule(),
+        WireHandlerParityRule(),
+        WireVersionRule(),
+        MetricRegistryRule(),
+        MetricNameRule(),
+        UnknownMetricReadRule(),
     )
+    if config is not None:
+        for rule in rules:
+            rule.config = config
+    return rules
 
 
 def rule_titles() -> dict:

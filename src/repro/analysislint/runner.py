@@ -3,13 +3,20 @@
 This is the engine behind both front doors (``tools/lint.py`` and
 ``repro lint``).  ``run_lint`` is also the API the unit tests use, so
 the CLI layers stay trivially thin.
+
+Configuration comes from ``[tool.repro.lint]`` in pyproject.toml (rule
+scoping, severity levels, allowlists — see
+:mod:`repro.analysislint.config`); rules configured ``"off"`` are
+skipped, rules configured ``"warn"`` report without failing
+``--check``.  A full-catalogue run additionally reports *stale
+waivers*: ``# lint:`` comments that no longer suppress anything.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.analysislint.baseline import (
     DEFAULT_BASELINE,
@@ -18,10 +25,13 @@ from repro.analysislint.baseline import (
     save_baseline,
     split_against_baseline,
 )
+from repro.analysislint.config import LintConfig, load_config
 from repro.analysislint.core import Finding, SourceTree, load_tree
+from repro.analysislint.obsmetrics import write_metric_registry
 from repro.analysislint.registry import write_registry
-from repro.analysislint.report import render_json, render_text
+from repro.analysislint.report import StaleWaiver, render_json, render_text
 from repro.analysislint.rules import Rule, all_rules
+from repro.analysislint.wireproto import write_wire_schema
 
 
 def find_repo_root(start: Optional[str] = None) -> str:
@@ -43,6 +53,8 @@ class LintResult:
     tree: SourceTree
     findings: List[Finding] = field(default_factory=list)
     split: BaselineSplit = field(default_factory=BaselineSplit)
+    warnings: List[Finding] = field(default_factory=list)
+    stale_waivers: List[StaleWaiver] = field(default_factory=list)
 
     @property
     def checked_files(self) -> int:
@@ -50,13 +62,17 @@ class LintResult:
 
     @property
     def ok(self) -> bool:
-        """No *new* findings (baselined ones are tolerated)."""
+        """No *new* findings (baselined and warn-level are tolerated)."""
         return not self.split.new
 
     def render(self, as_json: bool = False) -> str:
         if as_json:
-            return render_json(self.split, self.checked_files)
-        return render_text(self.split, self.checked_files)
+            return render_json(
+                self.split, self.checked_files, self.warnings, self.stale_waivers
+            )
+        return render_text(
+            self.split, self.checked_files, self.warnings, self.stale_waivers
+        )
 
 
 def run_lint(
@@ -65,32 +81,73 @@ def run_lint(
     rules: Optional[Iterable[Rule]] = None,
     baseline_path: Optional[str] = None,
     update_baseline: bool = False,
+    config: Optional[LintConfig] = None,
 ) -> LintResult:
     """Run the full pass and partition findings against the baseline.
 
     ``paths`` defaults to ``<root>/src/repro``; narrowing it narrows
-    every per-file rule but the registry rule always compares against
-    the committed registry, so partial scans of files that define
-    counters will report registry drift — run on the full tree for
-    authoritative results.
+    every per-file rule but the registry rules always compare against
+    the committed registries, so partial scans of files that define
+    counters/metrics/messages will report registry drift — run on the
+    full tree for authoritative results.
+
+    Passing an explicit ``rules`` iterable (tests, focused runs)
+    bypasses severity filtering *and* stale-waiver collection — both
+    are only meaningful against the full catalogue.
     """
     root = find_repo_root(root)
+    config = config if config is not None else load_config(root)
     tree = load_tree(root, list(paths) if paths else None)
+    full_catalogue = rules is None
+    if full_catalogue:
+        active: List[Rule] = [
+            rule
+            for rule in all_rules(config)
+            if config.rule_severity(rule.id) != "off"
+        ]
+    else:
+        active = list(rules)
     findings: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        findings.extend(rule.check(tree))
+    warnings: List[Finding] = []
+    for rule in active:
+        produced = rule.check(tree)
+        if full_catalogue and config.rule_severity(rule.id) == "warn":
+            warnings.extend(produced)
+        else:
+            findings.extend(produced)
+    stale_waivers: List[StaleWaiver] = []
+    if full_catalogue:
+        for sf in tree:
+            for waiver in sf.unused_waivers():
+                stale_waivers.append((sf.relpath, waiver.line, waiver.token))
     baseline_file = baseline_path or os.path.join(root, DEFAULT_BASELINE)
     if update_baseline:
         save_baseline(baseline_file, findings)
     split = split_against_baseline(findings, load_baseline(baseline_file))
-    return LintResult(tree=tree, findings=findings, split=split)
+    return LintResult(
+        tree=tree,
+        findings=findings,
+        split=split,
+        warnings=warnings,
+        stale_waivers=stale_waivers,
+    )
 
 
-def regenerate_registry(root: Optional[str] = None) -> str:
-    """Rewrite ``repro/common/stat_keys.py`` from a fresh scan."""
+def regenerate_registry(root: Optional[str] = None) -> List[str]:
+    """Rewrite all three generated registries from a fresh scan.
+
+    ``repro/common/stat_keys.py`` (stat-key registry),
+    ``repro/fabric/wire_schema.py`` (wire-protocol schema) and
+    ``repro/obs/metric_names.py`` (metric-name registry); returns the
+    written paths.
+    """
     root = find_repo_root(root)
     tree = load_tree(root)
-    return write_registry(tree, root)
+    return [
+        write_registry(tree, root),
+        write_wire_schema(tree, root),
+        write_metric_registry(tree, root),
+    ]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -101,8 +158,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="lint",
         description=(
             "simulator-invariant static analysis (determinism, dual-path "
-            "parity, cycle accounting, stat-key registry, hot-path "
-            "hygiene) — see docs/linting.md"
+            "parity, cycle accounting, concurrency/atomicity contracts, "
+            "wire-protocol and registry parity, hot-path hygiene) — see "
+            "docs/linting.md"
         ),
     )
     parser.add_argument(
@@ -117,6 +175,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--json", action="store_true", help="JSON report")
     parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="additionally write the JSON report to PATH (CI artifact)",
+    )
+    parser.add_argument(
         "--baseline",
         metavar="PATH",
         default=None,
@@ -130,14 +194,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--write-registry",
         action="store_true",
-        help="regenerate repro/common/stat_keys.py and exit",
+        help=(
+            "regenerate the stat-key, wire-schema, and metric-name "
+            "registries and exit"
+        ),
     )
     args = parser.parse_args(argv)
 
     root = find_repo_root()
     if args.write_registry:
-        path = write_registry(load_tree(root), root)
-        print(f"wrote {os.path.relpath(path, root)}")
+        for path in regenerate_registry(root):
+            print(f"wrote {os.path.relpath(path, root)}")
         return 0
 
     result = run_lint(
@@ -146,6 +213,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
     )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.render(as_json=True) + "\n")
     print(result.render(as_json=args.json))
     if args.check and not result.ok:
         return 1

@@ -337,12 +337,15 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--check", action="store_true",
                       help="exit nonzero on any new (non-baselined) finding")
     lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument("--output", metavar="PATH", default=None,
+                      help="additionally write the JSON report to PATH")
     lint.add_argument("--baseline", metavar="PATH", default=None,
                       help="baseline file (default .lint-baseline.json)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="grandfather every current finding")
     lint.add_argument("--write-registry", action="store_true",
-                      help="regenerate repro/common/stat_keys.py and exit")
+                      help="regenerate the stat-key/wire-schema/metric-name "
+                           "registries and exit")
 
     return parser
 
@@ -867,6 +870,8 @@ def _cmd_lint(args) -> int:
             forwarded.append("--" + flag.replace("_", "-"))
     if args.baseline is not None:
         forwarded.extend(["--baseline", args.baseline])
+    if args.output is not None:
+        forwarded.extend(["--output", args.output])
     return lint_runner.main(forwarded)
 
 

@@ -275,4 +275,5 @@ class FabricClient:
         reply = self._call(
             "/v1/heartbeat", protocol.heartbeat(worker, lease_id)
         )
+        protocol.check_envelope(reply, "heartbeat_ack")
         return bool(reply.get("alive"))

@@ -18,6 +18,7 @@ from typing import Mapping
 
 from repro.obs.metrics import MetricsRegistry
 
+# lint: metric-names(repro_run_dram_reads_total, repro_run_dram_writes_total, repro_run_prefetches_total)
 #: ``RunResult.stats`` keys mirrored as per-run counters, with the
 #: metric suffix each one feeds (coarse DRAM/prefetch traffic totals).
 _STAT_BRIDGES = (
@@ -68,7 +69,9 @@ def publish_run(
     for stat_key, suffix in _STAT_BRIDGES:
         value = stats.get(stat_key, 0)
         if value:
-            registry.counter(
+            # the emitted family is declared by the metric-names pragma
+            # at _STAT_BRIDGES
+            registry.counter(  # lint: metric-dynamic
                 f"repro_run_{suffix}_total",
                 f"Per-run total of the {stat_key} counter.",
             ).inc(value)

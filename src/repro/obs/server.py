@@ -138,12 +138,20 @@ class ObsServer:
         return self
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop serving and release the socket.
+
+        ``server_close`` runs in a ``finally`` so the bound socket is
+        released even when ``shutdown()`` raises (e.g. a subclass hook
+        or a half-torn-down serve loop) — leaking the port would make
+        every later bind on it fail with EADDRINUSE.
+        """
+        try:
+            self._httpd.shutdown()
+        finally:
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5)
+                self._thread = None
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (CLI use)."""

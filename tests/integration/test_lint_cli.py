@@ -41,16 +41,34 @@ class TestToolsLint:
         assert data["files"] > 50
 
     def test_write_registry_is_a_no_op(self, tmp_path):
-        """Regenerating the committed registry must not change it —
+        """Regenerating the committed registries must not change them —
         the same invariant CI enforces with git diff --exit-code."""
-        registry = os.path.join(REPO_ROOT, "src", "repro", "common", "stat_keys.py")
-        with open(registry, "r", encoding="utf-8") as handle:
-            before = handle.read()
+        registries = [
+            os.path.join(REPO_ROOT, "src", "repro", "common", "stat_keys.py"),
+            os.path.join(REPO_ROOT, "src", "repro", "fabric", "wire_schema.py"),
+            os.path.join(REPO_ROOT, "src", "repro", "obs", "metric_names.py"),
+        ]
+        before = {}
+        for registry in registries:
+            with open(registry, "r", encoding="utf-8") as handle:
+                before[registry] = handle.read()
         proc = _run("tools/lint.py", "--write-registry")
         assert proc.returncode == 0, proc.stdout + proc.stderr
-        with open(registry, "r", encoding="utf-8") as handle:
-            after = handle.read()
-        assert after == before
+        for registry in registries:
+            with open(registry, "r", encoding="utf-8") as handle:
+                assert handle.read() == before[registry], registry
+
+    def test_output_writes_json_artifact(self, tmp_path):
+        """--output writes the JSON report to a file (the CI artifact)
+        while stdout keeps the human-readable report."""
+        artifact = tmp_path / "lint-report.json"
+        proc = _run("tools/lint.py", "--check", "--output", str(artifact))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout  # stdout stays text
+        data = json.loads(artifact.read_text())
+        assert data["new"] == []
+        assert data["stale_waivers"] == []
+        assert data["files"] > 50
 
     def test_seeded_violation_fails_check(self, tmp_path):
         """--check must exit nonzero when pointed at code that violates

@@ -83,6 +83,31 @@ class TestLiveEndpoints:
         assert err.value.code == 404
 
 
+class TestCloseReleasesSocket:
+    def test_socket_closed_even_when_shutdown_raises(self):
+        """Regression: ``close()`` used to call ``server_close`` only
+        after ``shutdown()`` returned, so a raising shutdown leaked the
+        bound socket and every later bind hit EADDRINUSE."""
+        server = ObsServer(registry=MetricsRegistry(enabled=True)).start()
+
+        def exploding_shutdown():
+            # still stop the serve loop (via the flag the real shutdown()
+            # sets) so the test does not leave a spinning thread behind
+            server._httpd._BaseServer__shutdown_request = True
+            raise RuntimeError("half-torn-down serve loop")
+
+        server._httpd.shutdown = exploding_shutdown
+        with pytest.raises(RuntimeError, match="half-torn-down"):
+            server.close()
+        # the finally block must still have released the socket
+        assert server._httpd.socket.fileno() == -1
+
+    def test_clean_close_releases_the_socket_too(self):
+        server = ObsServer(registry=MetricsRegistry(enabled=True)).start()
+        server.close()
+        assert server._httpd.socket.fileno() == -1
+
+
 class TestSnapshotDirServing:
     def test_serves_latest_snapshot(self, tmp_path):
         registry = MetricsRegistry(enabled=True)

@@ -1,0 +1,34 @@
+"""Torn-write violations: ATO001 must fire on the bare write only.
+
+``save_report`` overwrites the final path in place; the three other
+writers use the sanctioned idioms (mkstemp+replace, suffix tmp+replace,
+append stream) and must stay clean.
+"""
+
+import json
+import os
+import tempfile
+
+
+def save_report(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # ATO001: torn write
+        json.dump(payload, handle)
+
+
+def save_report_mkstemp(path, payload):
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=os.path.dirname(path))
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def save_report_suffix(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def append_log(path, line):
+    with open(path, "a", encoding="utf-8") as handle:  # append streams are exempt
+        handle.write(line)

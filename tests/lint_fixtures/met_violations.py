@@ -1,0 +1,23 @@
+"""Metric-contract violations: MET002/MET003 must fire here.
+
+Four bad registration sites (counter without ``_total``, an uppercase
+name, a four-label cardinality blowout, an unwaived dynamic name), one
+clean gauge, and a scrape helper referencing a metric nothing
+registers.
+"""
+
+
+def register_all(registry, suffix):
+    registry.counter("repro_jobs_done", "Jobs done.")  # MET002: no _total
+    registry.gauge("repro_Queue_depth", "Depth.")  # MET002: uppercase
+    registry.counter(
+        "repro_retries_total",
+        "Retries by origin.",
+        ("host", "job", "bench", "seed"),  # MET002: 4 labels > cap
+    )
+    registry.counter(f"repro_dyn_{suffix}_total", "Dynamic.")  # MET002: unwaived
+    registry.gauge("repro_queue_depth", "Depth.")
+
+
+def scrape_check(text):
+    return "repro_jobs_typo_total" in text  # MET003: nothing registers this

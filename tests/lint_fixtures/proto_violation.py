@@ -1,0 +1,33 @@
+"""Wire-parity violations: PROTO001 must fire on both asymmetries.
+
+``status_reply`` is produced but nothing validates it; ``orphan_poke``
+is validated but nothing produces it; ``status_ping`` is symmetric and
+must stay clean.  The local ``envelope``/``check_envelope`` shims mirror
+the real :mod:`repro.fabric.protocol` call shapes the scanner keys on.
+"""
+
+
+def envelope(kind, **fields):
+    doc = {"protocol": 7, "kind": kind}
+    doc.update(fields)
+    return doc
+
+
+def check_envelope(doc, kind):
+    return doc
+
+
+def request_status(job_id):
+    return envelope("status_reply", job_id=job_id, state="done")  # never consumed
+
+
+def handle_orphan(doc):
+    return check_envelope(doc, "orphan_poke")  # never produced
+
+
+def ping(job_id):
+    return envelope("status_ping", job_id=job_id)
+
+
+def handle_ping(doc):
+    return check_envelope(doc, "status_ping")

@@ -1,0 +1,227 @@
+"""The CFG/dataflow engine the CONC/ATO rule families are built on.
+
+These tests pin the graph shapes that matter to the obligation rules:
+``finally`` blocks dominating early returns, exceptional edges into
+handlers, branch paths that skip a release, and the conservative escape
+analysis that discharges cleanup obligations.
+"""
+
+import ast
+import textwrap
+
+from repro.analysislint import flow
+
+
+def func_of(src):
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def cfg_of(src):
+    return flow.build_cfg(func_of(src))
+
+
+def node_calling(cfg, method):
+    """CFG node id of the first statement containing a ``.method()`` call."""
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        for sub in ast.walk(node.stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == method
+            ):
+                return node.id
+    raise AssertionError(f"no statement calls .{method}()")
+
+
+def stops_on(method):
+    def stop(node):
+        if node.stmt is None:
+            return False
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == method
+            for sub in ast.walk(node.stmt)
+        )
+
+    return stop
+
+
+class TestCanReachExit:
+    def test_straight_line_release_dominates(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                handle = acquire(path)
+                handle.use()
+                handle.close()
+            """
+        )
+        start = node_calling(cfg, "use")
+        assert not flow.can_reach_exit(cfg, start, stops_on("close"))
+
+    def test_branch_that_skips_the_release_is_found(self):
+        cfg = cfg_of(
+            """
+            def f(path, fast):
+                handle = acquire(path)
+                if fast:
+                    handle.close()
+                handle.use()
+            """
+        )
+        # from the use statement (below the branch) nothing closes
+        first = node_calling(cfg, "use")
+        assert flow.can_reach_exit(cfg, first, stops_on("close"))
+
+    def test_finally_release_dominates_early_return(self):
+        cfg = cfg_of(
+            """
+            def f(path, fast):
+                handle = acquire(path)
+                try:
+                    if fast:
+                        return 1
+                    handle.use()
+                finally:
+                    handle.close()
+            """
+        )
+        start = node_calling(cfg, "use")
+        assert not flow.can_reach_exit(cfg, start, stops_on("close"))
+        # and the early return is also routed through the finally
+        returns = [
+            n.id
+            for n in cfg.nodes
+            if isinstance(n.stmt, ast.Return)
+        ]
+        assert returns
+        assert not flow.can_reach_exit(cfg, returns[0], stops_on("close"))
+
+    def test_handler_path_can_skip_body_tail(self):
+        cfg = cfg_of(
+            """
+            def f(conn):
+                try:
+                    conn.send()
+                    conn.close()
+                except OSError:
+                    conn.abort()
+            """
+        )
+        start = node_calling(cfg, "send")
+        # the exceptional edge into the handler bypasses close()
+        assert flow.can_reach_exit(cfg, start, stops_on("close"))
+
+    def test_loop_break_exits_past_the_release(self):
+        cfg = cfg_of(
+            """
+            def f(items, handle):
+                for item in items:
+                    if item.bad():
+                        break
+                    handle.use()
+                handle.close()
+            """
+        )
+        start = node_calling(cfg, "use")
+        assert not flow.can_reach_exit(cfg, start, stops_on("close"))
+
+
+class TestAssignedNames:
+    def test_simple_and_tuple_targets(self):
+        stmt = ast.parse("a, (b, c) = x").body[0]
+        assert flow.assigned_names(stmt) == {"a", "b", "c"}
+
+    def test_with_as_and_for_targets(self):
+        with_stmt = ast.parse("with open(p) as fh:\n    pass").body[0]
+        assert flow.assigned_names(with_stmt) == {"fh"}
+        for_stmt = ast.parse("for k, v in items:\n    pass").body[0]
+        assert flow.assigned_names(for_stmt) == {"k", "v"}
+
+    def test_compound_bodies_do_not_contribute(self):
+        if_stmt = ast.parse("if c:\n    y = 1").body[0]
+        assert flow.assigned_names(if_stmt) == set()
+
+
+class TestReachingDefinitions:
+    def test_params_defined_at_entry_and_rebinds_kill(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                x = transform(x)
+                x.finish()
+            """
+        )
+        rd = flow.reaching_definitions(cfg)
+        finish = node_calling(cfg, "finish")
+        reaching_x = {def_node for name, def_node in rd[finish] if name == "x"}
+        # only the rebinding reaches the use; the entry (param) def is killed
+        assert cfg.entry not in reaching_x
+        assert len(reaching_x) == 1
+
+    def test_branch_merge_keeps_both_defs(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    v = make_a()
+                else:
+                    v = make_b()
+                v.finish()
+            """
+        )
+        rd = flow.reaching_definitions(cfg)
+        finish = node_calling(cfg, "finish")
+        reaching_v = {def_node for name, def_node in rd[finish] if name == "v"}
+        assert len(reaching_v) == 2
+
+
+class TestEscapingNames:
+    def test_returned_and_stored_names_escape(self):
+        func = func_of(
+            """
+            def f(self):
+                a = make()
+                b = make()
+                c = make()
+                d = make()
+                self.keep = b
+                consume(c)
+                d.close()
+                return a
+            """
+        )
+        escapes = flow.escaping_names(func)
+        assert {"a", "b", "c"} <= escapes
+        # receiver of a method call is NOT an escape
+        assert "d" not in escapes
+
+    def test_yield_and_subscript_store_escape(self):
+        func = func_of(
+            """
+            def f(table, key):
+                v = make()
+                w = make()
+                table[key] = w
+                yield v
+            """
+        )
+        escapes = flow.escaping_names(func)
+        assert {"v", "w"} <= escapes
+
+
+class TestCalledSelfMethods:
+    def test_direct_and_aliased_calls(self):
+        func = func_of(
+            """
+            def f(self):
+                self._direct()
+                fn = self._aliased
+                fn()
+                other()
+            """
+        )
+        assert flow.called_self_methods(func) == {"_direct", "_aliased"}

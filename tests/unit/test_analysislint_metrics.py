@@ -1,0 +1,185 @@
+"""MET rules: metric-name registry, naming contract, stray-read checks."""
+
+import os
+
+import pytest
+
+from repro.analysislint.obsmetrics import (
+    METRIC_REGISTRY_RELPATH,
+    MetricNameRule,
+    MetricRegistryRule,
+    UnknownMetricReadRule,
+    load_committed,
+    scan_metrics,
+    write_metric_registry,
+)
+from tests.unit._lint_util import mount, mount_text, real_tree
+
+FIXTURE = ("met_violations.py", "src/repro/obs/met_violations.py")
+
+CLEAN_SRC = """\
+def register(registry):
+    registry.counter("repro_jobs_total", "Jobs.", ("outcome",))
+    registry.histogram("repro_lat_seconds", "Latency.")
+"""
+
+
+def met_tree(tmp_path, text=CLEAN_SRC):
+    return mount_text(text, "src/repro/obs/mets.py", root=str(tmp_path))
+
+
+def commit_registry(tree, root):
+    os.makedirs(os.path.join(root, "src", "repro", "obs"), exist_ok=True)
+    return write_metric_registry(tree, root)
+
+
+class TestNameContract:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return mount(FIXTURE)
+
+    def test_all_four_contract_breaches_flagged(self, tree):
+        findings = MetricNameRule().check(tree)
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 4
+        assert any("counter names must end in _total" in m for m in messages)
+        assert any("repro_[a-z0-9_]*" in m for m in messages)
+        assert any("exceed the cardinality cap" in m for m in messages)
+        assert any("not statically extractable" in m for m in messages)
+
+    def test_clean_gauge_not_flagged(self, tree):
+        assert not any(
+            "repro_queue_depth" in f.message
+            for f in MetricNameRule().check(tree)
+        )
+
+    def test_waived_dynamic_with_pragma_is_clean(self):
+        tree = mount_text(
+            "# lint: metric-names(repro_thing_total)\n"
+            "def reg(registry, s):\n"
+            "    registry.counter(  # lint: metric-dynamic\n"
+            '        f"repro_{s}_total", "Dynamic.")\n',
+            "src/repro/obs/dyn.py",
+        )
+        assert MetricNameRule().check(tree) == []
+        assert "repro_thing_total" in scan_metrics(tree).names
+
+    def test_waived_dynamic_without_pragma_still_flagged(self):
+        tree = mount_text(
+            "def reg(registry, s):\n"
+            "    registry.counter(  # lint: metric-dynamic\n"
+            '        f"repro_{s}_total", "Dynamic.")\n',
+            "src/repro/obs/dyn.py",
+        )
+        findings = MetricNameRule().check(tree)
+        assert len(findings) == 1
+        assert "declares no" in findings[0].message
+
+    def test_non_registry_receiver_ignored(self):
+        # a .counter() on some unrelated object is not a registration site
+        tree = mount_text(
+            "def f(tally, s):\n"
+            '    tally.counter(f"repro_{s}_total")\n',
+            "src/repro/obs/other.py",
+        )
+        assert scan_metrics(tree).sites == []
+
+
+class TestUnknownReads:
+    def test_typo_read_flagged(self):
+        tree = mount(FIXTURE)
+        findings = UnknownMetricReadRule().check(tree)
+        assert len(findings) == 1
+        assert "repro_jobs_typo_total" in findings[0].message
+        assert findings[0].symbol == "scrape_check"
+
+    def test_exposition_suffixes_resolve(self, tmp_path):
+        tree = met_tree(
+            tmp_path,
+            CLEAN_SRC
+            + "\n\ndef check(text):\n"
+            '    return "repro_lat_seconds_bucket" in text\n',
+        )
+        assert UnknownMetricReadRule().check(tree) == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        tree = met_tree(
+            tmp_path,
+            CLEAN_SRC
+            + "\n\ndef check(text):\n"
+            '    return "repro_not_here_total" in text  # lint: metric-read-ok\n',
+        )
+        assert UnknownMetricReadRule().check(tree) == []
+
+
+class TestRegistryParity:
+    def test_fresh_registry_is_clean(self, tmp_path):
+        tree = met_tree(tmp_path)
+        commit_registry(tree, str(tmp_path))
+        assert MetricRegistryRule().check(tree) == []
+
+    def test_missing_registry_demands_write_registry(self, tmp_path):
+        findings = MetricRegistryRule().check(met_tree(tmp_path))
+        assert len(findings) == 1
+        assert "metric registry missing" in findings[0].message
+
+    def test_new_metric_reported_as_unregistered(self, tmp_path):
+        commit_registry(met_tree(tmp_path), str(tmp_path))
+        grown = met_tree(
+            tmp_path,
+            CLEAN_SRC + '    registry.gauge("repro_new_depth", "New.")\n',
+        )
+        findings = MetricRegistryRule().check(grown)
+        assert len(findings) == 1
+        assert "unregistered metrics" in findings[0].message
+        assert "repro_new_depth" in findings[0].message
+
+    def test_dropped_metric_reported_as_stale(self, tmp_path):
+        commit_registry(met_tree(tmp_path), str(tmp_path))
+        shrunk = met_tree(
+            tmp_path,
+            'def register(registry):\n'
+            '    registry.counter("repro_jobs_total", "Jobs.", ("outcome",))\n',
+        )
+        findings = MetricRegistryRule().check(shrunk)
+        assert len(findings) == 1
+        assert "stale registry metrics" in findings[0].message
+        assert "repro_lat_seconds" in findings[0].message
+
+    def test_label_change_reported(self, tmp_path):
+        commit_registry(met_tree(tmp_path), str(tmp_path))
+        relabeled = met_tree(
+            tmp_path,
+            CLEAN_SRC.replace('("outcome",)', '("outcome", "host")'),
+        )
+        findings = MetricRegistryRule().check(relabeled)
+        assert len(findings) == 1
+        assert "out of date" in findings[0].message
+        assert "repro_jobs_total" in findings[0].message
+
+    def test_committed_registry_round_trips(self, tmp_path):
+        tree = met_tree(tmp_path)
+        commit_registry(tree, str(tmp_path))
+        committed = load_committed(str(tmp_path))
+        assert committed == {
+            "repro_jobs_total": ("counter", ("outcome",)),
+            "repro_lat_seconds": ("histogram", ()),
+        }
+
+
+class TestRealTree:
+    @pytest.mark.parametrize(
+        "rule_cls", [MetricRegistryRule, MetricNameRule, UnknownMetricReadRule]
+    )
+    def test_real_tree_has_no_findings(self, rule_cls):
+        findings = rule_cls().check(real_tree())
+        assert findings == [], [f.render() for f in findings]
+
+    def test_committed_registry_covers_the_fleet(self):
+        from repro.obs.metric_names import METRIC_NAMES, is_known_metric
+
+        assert "repro_runs_completed_total" in METRIC_NAMES
+        # pragma-declared dynamic family from repro.obs.bridge
+        assert "repro_run_prefetches_total" in METRIC_NAMES
+        assert is_known_metric("repro_sweep_job_seconds_bucket")
+        assert not is_known_metric("repro_nope_total")

@@ -8,15 +8,18 @@ divergent ``tick``/``tick_reference`` pair must be flagged, and the real
 import pytest
 
 from repro.analysislint.parity import (
+    BULK_PAIR,
+    BulkTickParityRule,
     EventParityRule,
     StatsParityRule,
     _analyses,
     _class_pairs,
 )
-from tests.unit._lint_util import mount, real_tree
+from tests.unit._lint_util import mount, mount_text, real_tree
 
 DIVERGENT = ("parity_divergent.py", "src/repro/controller/parity_divergent.py")
 CLEAN = ("parity_clean.py", "src/repro/controller/parity_clean.py")
+BULK = ("par003_divergent.py", "src/repro/controller/par003_divergent.py")
 
 
 class TestDivergentFixture:
@@ -53,6 +56,54 @@ class TestCleanFixture:
     def test_pair_detection_sees_the_class(self, tree):
         pairs = _class_pairs(tree.files[0])
         assert [cls.name for cls, _ in pairs] == ["BalancedController"]
+
+
+class TestBulkTickFixture:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return mount(BULK)
+
+    def test_integral_stats_divergence_flagged(self, tree):
+        findings = BulkTickParityRule().check(tree)
+        stats = [f for f in findings if "integral-stats" in f.message]
+        assert len(stats) == 1
+        assert stats[0].symbol == "SkippyController"
+        assert "only in tick: occ_read" in stats[0].message
+        # work counters are not integrals — they must not be reported
+        assert "issued_reads" not in stats[0].message
+
+    def test_event_divergence_flagged(self, tree):
+        findings = BulkTickParityRule().check(tree)
+        events = [f for f in findings if "tracer-event" in f.message]
+        assert len(events) == 1
+        assert "only in tick: IdleJump" in events[0].message
+
+    def test_covering_controller_clean(self, tree):
+        assert {f.symbol for f in BulkTickParityRule().check(tree)} == {
+            "SkippyController"
+        }
+
+    def test_class_line_waiver_suppresses(self):
+        tree = mount_text(
+            "class SkewBulk:  # lint: waive=PAR003\n"
+            "    def tick(self, now):\n"
+            '        self.stats.bump("occ_read")\n'
+            "\n"
+            "    def bulk_tick(self, start, cycles):\n"
+            "        pass\n",
+            "src/repro/controller/waived_bulk.py",
+        )
+        assert BulkTickParityRule().check(tree) == []
+
+
+class TestRealBulkTick:
+    def test_real_fast_forward_pair_is_analyzed(self):
+        names = {pa.cls.name for pa in _analyses(real_tree(), BULK_PAIR)}
+        assert "MemoryController" in names
+
+    def test_real_fast_forward_pair_passes(self):
+        findings = BulkTickParityRule().check(real_tree())
+        assert findings == [], [f.render() for f in findings]
 
 
 class TestRealDualPathClasses:

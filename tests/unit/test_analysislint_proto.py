@@ -1,0 +1,154 @@
+"""PROTO rules: wire-kind symmetry and version-bump discipline."""
+
+import os
+
+import pytest
+
+from repro.analysislint.wireproto import (
+    WIRE_SCHEMA_RELPATH,
+    WireHandlerParityRule,
+    WireVersionRule,
+    load_committed,
+    scan_wire,
+    write_wire_schema,
+)
+from tests.unit._lint_util import mount, mount_text, real_tree
+
+FIXTURE = ("proto_violation.py", "src/repro/fabric/proto_violation.py")
+
+#: A self-contained protocol module at version 7; the second %s slot
+#: lets tests grow the wire shape of ``status_ping``.
+PROTO_SRC = """\
+PROTOCOL_VERSION = %d
+
+_JOB_WIRE_FIELDS = ("id", "seed")
+
+
+def envelope(kind, **fields):
+    return dict(fields, kind=kind)
+
+
+def check_envelope(doc, kind):
+    return doc
+
+
+def send(job_id):
+    return envelope("status_ping", job_id=job_id%s)
+
+
+def recv(doc):
+    return check_envelope(doc, "status_ping")
+"""
+
+
+def proto_tree(tmp_path, version=7, extra_field=""):
+    extra = f", {extra_field}=1" if extra_field else ""
+    return mount_text(
+        PROTO_SRC % (version, extra),
+        "src/repro/fabric/proto.py",
+        root=str(tmp_path),
+    )
+
+
+def commit_schema(tree, root):
+    os.makedirs(os.path.join(root, "src", "repro", "fabric"), exist_ok=True)
+    return write_wire_schema(tree, root)
+
+
+class TestHandlerParity:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return mount(FIXTURE)
+
+    def test_both_asymmetries_flagged(self, tree):
+        findings = WireHandlerParityRule().check(tree)
+        by_kind = {f.symbol: f for f in findings}
+        assert sorted(by_kind) == ["orphan_poke", "status_reply"]
+        assert "never produced" in by_kind["orphan_poke"].message
+        assert "never validated" in by_kind["status_reply"].message
+
+    def test_symmetric_kind_clean(self, tree):
+        assert "status_ping" not in {
+            f.symbol for f in WireHandlerParityRule().check(tree)
+        }
+
+    def test_waiver_suppresses(self):
+        tree = mount_text(
+            "def envelope(kind, **fields):\n"
+            "    return dict(fields, kind=kind)\n\n\n"
+            "def fire(job_id):\n"
+            "    return envelope('fire_and_forget', job_id=job_id)  # lint: wire-ok\n",
+            "src/repro/fabric/waived.py",
+        )
+        assert WireHandlerParityRule().check(tree) == []
+
+    def test_tree_without_fabric_sources_is_skipped(self):
+        tree = mount_text("x = 1\n", "src/repro/cache/empty.py")
+        assert WireHandlerParityRule().check(tree) == []
+
+
+class TestVersionDiscipline:
+    def test_fresh_schema_is_clean(self, tmp_path):
+        tree = proto_tree(tmp_path)
+        commit_schema(tree, str(tmp_path))
+        assert WireVersionRule().check(tree) == []
+
+    def test_missing_schema_demands_write_registry(self, tmp_path):
+        tree = proto_tree(tmp_path)
+        findings = WireVersionRule().check(tree)
+        assert len(findings) == 1
+        assert "wire schema missing" in findings[0].message
+
+    def test_shape_change_without_bump_flagged(self, tmp_path):
+        commit_schema(proto_tree(tmp_path), str(tmp_path))
+        changed = proto_tree(tmp_path, version=7, extra_field="retries")
+        findings = WireVersionRule().check(changed)
+        assert len(findings) == 1
+        assert "without a PROTOCOL_VERSION bump" in findings[0].message
+        assert "status_ping" in findings[0].message
+
+    def test_shape_change_with_bump_only_needs_regeneration(self, tmp_path):
+        commit_schema(proto_tree(tmp_path), str(tmp_path))
+        bumped = proto_tree(tmp_path, version=8, extra_field="retries")
+        findings = WireVersionRule().check(bumped)
+        assert len(findings) == 1
+        assert "regenerate" in findings[0].message
+        # after regenerating, the rule is satisfied again
+        commit_schema(bumped, str(tmp_path))
+        assert WireVersionRule().check(bumped) == []
+
+    def test_committed_schema_round_trips(self, tmp_path):
+        tree = proto_tree(tmp_path)
+        commit_schema(tree, str(tmp_path))
+        version, job_fields, kinds = load_committed(str(tmp_path))
+        assert version == 7
+        assert job_fields == ("id", "seed")
+        assert kinds == {"status_ping": ("job_id",)}
+
+
+class TestRealTree:
+    def test_all_kinds_produced_and_consumed(self):
+        model = scan_wire(real_tree())
+        assert set(model.kinds) >= {
+            "sweep_request",
+            "sweep_accepted",
+            "lease_request",
+            "lease_grant",
+            "complete_report",
+            "complete_ack",
+            "heartbeat",
+            "heartbeat_ack",
+        }
+        for kind in model.kinds:
+            assert model.producers.get(kind), f"{kind} has no producer"
+            assert model.consumers.get(kind), f"{kind} has no consumer"
+
+    @pytest.mark.parametrize("rule_cls", [WireHandlerParityRule, WireVersionRule])
+    def test_real_tree_has_no_findings(self, rule_cls):
+        findings = rule_cls().check(real_tree())
+        assert findings == [], [f.render() for f in findings]
+
+    def test_committed_schema_exists(self):
+        from tests.unit._lint_util import REPO_ROOT
+
+        assert os.path.exists(os.path.join(REPO_ROOT, WIRE_SCHEMA_RELPATH))
