@@ -22,12 +22,15 @@ Commands:
 * ``telemetry`` — run one benchmark with full instrumentation and
   export/print the epoch-resolved series (see docs/telemetry.md)
 * ``obs``       — fleet observability: ``obs serve`` exposes the
-  metrics snapshots of past sweeps over HTTP (docs/observability.md)
+  metrics snapshots of past sweeps over HTTP; ``obs trace export``
+  converts a sweep's span snapshot to Chrome trace-event JSON for
+  Perfetto (docs/observability.md)
 * ``fabric``    — distributed sweeps (docs/fabric.md): ``fabric
   serve`` runs the coordinator daemon, ``fabric work`` a worker agent,
   ``fabric submit`` sends a grid over HTTP (``--watch`` polls it to
   completion and prints the sweep table), ``fabric status`` inspects
-  the fleet
+  the fleet (with a critical-path summary of the stitched trace),
+  ``fabric watch`` streams live progress over SSE
 * ``lint``      — simulator-invariant static analysis (determinism,
   dual-path parity, cycle accounting, stat-key registry, hot-path
   hygiene; see docs/linting.md)
@@ -261,6 +264,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dir", dest="directory", default=None,
                        help="snapshot directory (default "
                             ".repro-results/metrics)")
+    otrace = obs_sub.add_parser(
+        "trace", help="span-trace tooling (docs/observability.md)"
+    )
+    otrace_sub = otrace.add_subparsers(dest="obs_trace_command", required=True)
+    oexport = otrace_sub.add_parser(
+        "export",
+        help="convert a span snapshot to Chrome trace-event JSON "
+             "(loadable in Perfetto / chrome://tracing)",
+    )
+    oexport.add_argument("--input", default=None, metavar="PATH",
+                         help="span snapshot (default "
+                              ".repro-results/spans/latest.json)")
+    oexport.add_argument("-o", "--output", default="trace.json",
+                         metavar="PATH",
+                         help="trace-event output file (default trace.json)")
 
     fabric = sub.add_parser(
         "fabric", help="distributed sweep fabric (docs/fabric.md)"
@@ -328,6 +346,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fstatus.add_argument("--coordinator", required=True, metavar="URL")
     fstatus.add_argument("--sweep", default=None, metavar="ID",
                          help="show one sweep instead of the fleet")
+
+    fwatch = fabric_sub.add_parser(
+        "watch", help="stream live fleet progress over SSE (/events)"
+    )
+    fwatch.add_argument("--coordinator", required=True, metavar="URL")
+    fwatch.add_argument("--sweep", default=None, metavar="ID",
+                        help="exit once this sweep finishes "
+                             "(default: stream until Ctrl-C)")
+    fwatch.add_argument("--poll", type=float, default=2.0, metavar="SECONDS",
+                        help="fallback poll interval when the SSE stream "
+                             "is unavailable (default 2.0)")
 
     lint = sub.add_parser(
         "lint", help="simulator-invariant static analysis (docs/linting.md)"
@@ -497,8 +526,9 @@ def _cmd_sweep(args) -> int:
     import os
 
     from repro.experiments import sweep
-    from repro.obs import exporters, metrics
+    from repro.obs import critpath, exporters, metrics
     from repro.obs import progress as obs_progress
+    from repro.obs import spans as obs_spans
     from repro.obs.server import ObsServer
 
     if args.benchmarks:
@@ -523,8 +553,12 @@ def _cmd_sweep(args) -> int:
                               seed=args.seed)
     # The sweep CLI always runs with fleet metrics on: the registry is
     # cheap at this granularity and feeds the snapshot + live endpoint.
+    # Ditto the span collector — its snapshot feeds the critical-path
+    # summary and `repro obs trace export`.
     registry = metrics.MetricsRegistry(enabled=True)
     metrics.set_default_registry(registry)
+    collector = obs_spans.SpanCollector(enabled=True)
+    obs_spans.set_default_collector(collector)
     live = obs_progress.SweepProgress()
     printer = (
         None if args.no_progress else obs_progress.ProgressPrinter(live)
@@ -534,7 +568,8 @@ def _cmd_sweep(args) -> int:
     server = None
     if args.metrics_port is not None:
         server = ObsServer(
-            registry=registry, progress=live, port=args.metrics_port
+            registry=registry, progress=live, port=args.metrics_port,
+            spans=collector,
         ).start()
         print(f"  obs endpoint: {server.url}", file=sys.stderr)
     try:
@@ -559,9 +594,11 @@ def _cmd_sweep(args) -> int:
         snapshot_path = exporters.write_snapshot(
             registry, progress=live.snapshot()
         )
+        spans_path = obs_spans.write_spans(collector)
         if server is not None:
             server.close()
         metrics.reset_default_registry()
+        obs_spans.reset_default_collector()
     by_bench = {}
     for spec, result in zip(specs, outcome.results):
         by_bench.setdefault(spec.benchmark, {})[spec.config_name] = result
@@ -589,6 +626,12 @@ def _cmd_sweep(args) -> int:
         st = store.get_store()
         print(f"  store: {len(st)} entries at {st.root}")
     print(f"  metrics snapshot: {snapshot_path}")
+    for line in critpath.render_summary(
+        critpath.analyze(collector.spans())
+    ).splitlines():
+        print(f"  {line}")
+    print(f"  span snapshot: {spans_path} "
+          "(repro obs trace export renders it for Perfetto)")
     return 0
 
 
@@ -610,6 +653,9 @@ def _grid_table(benchmarks, configs, by_bench, title) -> str:
 
 
 def _cmd_obs(args) -> int:
+    if args.obs_command == "trace":
+        return _cmd_obs_trace(args)
+
     from repro.obs.paths import metrics_dir
     from repro.obs.server import ObsServer
 
@@ -623,6 +669,37 @@ def _cmd_obs(args) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    """``repro obs trace export``: span snapshot -> Chrome trace JSON."""
+    import json
+    import os
+
+    from repro.obs import critpath
+    from repro.obs import spans as obs_spans
+    from repro.obs.paths import spans_dir
+
+    path = args.input if args.input else os.path.join(
+        spans_dir(), "latest.json"
+    )
+    try:
+        spans = obs_spans.load_spans(path)
+    except FileNotFoundError:
+        print(f"obs trace export: no span snapshot at {path} "
+              "(run `repro sweep` first, or pass --input)", file=sys.stderr)
+        return 2
+    except obs_spans.SpanError as exc:
+        print(f"obs trace export: {path}: {exc}", file=sys.stderr)
+        return 2
+    document = obs_spans.to_chrome_trace(spans)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+    events = sum(1 for e in document["traceEvents"] if e["ph"] == "X")
+    print(f"wrote {args.output}: {events} span(s) from {path}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    print(critpath.render_summary(critpath.analyze(spans)))
     return 0
 
 
@@ -725,12 +802,78 @@ def _cmd_fabric(args) -> int:
                   file=sys.stderr)
         return 1 if failed else 0
 
+    if args.fabric_command == "watch":
+        return _fabric_watch(client, args)
+
     # fabric status
     document = (
         client.sweep_status(args.sweep) if args.sweep else client.status()
     )
     print(json.dumps(document, indent=2, sort_keys=True))
+    if not args.sweep:
+        from repro.obs import critpath
+        from repro.obs.spans import SpanError, check_span
+
+        try:
+            snapshot = client.trace()
+            spans = [check_span(doc) for doc in snapshot.get("spans", [])]
+        except (OSError, SpanError, ValueError):
+            spans = []
+        if spans:
+            print(critpath.render_summary(critpath.analyze(spans)))
     return 0
+
+
+def _fabric_watch(client, args) -> int:
+    """``repro fabric watch``: live SSE progress, polling fallback."""
+    import time as _time
+
+    from repro.fabric.client import CoordinatorUnavailable
+    from repro.obs.progress import render_line
+
+    def _finished(snapshot) -> bool:
+        if args.sweep is None:
+            return False
+        try:
+            status = client.sweep_status(args.sweep)
+        except Exception:
+            return False
+        counts = status.get("counts", {})
+        settled = counts.get("done", 0) + counts.get("failed", 0)
+        return settled >= status.get("total", 0)
+
+    print(f"watching {client.url} "
+          + (f"(sweep {args.sweep}, " if args.sweep else "(")
+          + "Ctrl-C to stop)")
+    try:
+        while True:
+            try:
+                for kind, payload in client.events(timeout=30.0):
+                    if kind == "progress" and isinstance(payload, dict):
+                        line = payload.get("line") or str(payload)
+                        print(line)
+                        if payload.get("finished") and _finished(payload):
+                            return 0
+                    elif kind == "sweep" and isinstance(payload, dict):
+                        print(f"sweep {payload.get('sweep')}: "
+                              f"{payload.get('queued')} queued, "
+                              f"{payload.get('deduped')} deduped")
+                    elif kind == "hello":
+                        continue
+                # Server closed the stream; fall through to polling.
+            except CoordinatorUnavailable:
+                pass
+            # SSE unavailable (old server, proxy): poll instead.
+            try:
+                snapshot = client.progress()
+                print(render_line(snapshot))
+                if snapshot.get("finished") and _finished(snapshot):
+                    return 0
+            except (CoordinatorUnavailable, KeyError):
+                print("coordinator unreachable; retrying", file=sys.stderr)
+            _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_figure(args) -> int:

@@ -295,6 +295,7 @@ def run_suite(
     )
     if sweepable:
         from repro.experiments import sweep
+        from repro.obs import spans as obs_spans
 
         specs = sweep.expand_grid(
             benchmarks,
@@ -304,11 +305,16 @@ def run_suite(
             threads=kwargs.get("threads", 1),
             scheduler=kwargs.get("scheduler", "ahb"),
         )
-        outcome = sweep.run_jobs(
-            specs, jobs=jobs, timeout=timeout,
-            use_store=kwargs.get("use_store"),
-            progress=progress,
-        )
+        with obs_spans.default_collector().span(
+            "sweep.suite", benchmarks=len(benchmarks),
+            configs=len(config_names), jobs=jobs,
+        ) as suite_span:
+            outcome = sweep.run_jobs(
+                specs, jobs=jobs, timeout=timeout,
+                use_store=kwargs.get("use_store"),
+                progress=progress,
+                trace_parent=suite_span.context(),
+            )
         results = iter(outcome.results)
         return {b: {c: next(results) for c in config_names}
                 for b in benchmarks}

@@ -40,6 +40,15 @@ recorder whose ring is dumped as a post-mortem JSON under
 ``.repro-results/postmortem/`` whenever a job times out or exhausts
 its crash-retry budget.  The silent paths of the robustness machinery
 log through the ``repro.experiments.sweep`` logger.
+
+Span tracing (:mod:`repro.obs.spans`): when a live collector is
+installed, every call opens a ``sweep.run_jobs`` span and records one
+``sweep.job`` span per *executed* job (cache/store hits resolve in
+microseconds and would flood the tree), with ``sweep.queue_wait`` /
+``sweep.exec`` children synthesized from the worker's timing stamps —
+workers are separate processes, so they report wall-clock stamps and
+the parent builds the spans.  Disabled (the default) this costs one
+branch per job.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from repro.experiments import runner, store
 from repro.fastsim.version import JOB_FIDELITIES
 from repro.obs import flightrec
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs.progress import SweepProgress
 from repro.system.presets import make_config
 from repro.system.results import RunResult
@@ -279,6 +289,7 @@ class _SweepObs:
     """
 
     __slots__ = ("metrics", "progress", "recorder", "enabled",
+                 "spans", "sweep_ctx",
                  "_jobs", "_seconds", "_queue_wait", "_events")
 
     def __init__(
@@ -286,10 +297,14 @@ class _SweepObs:
         metrics: obs_metrics.MetricsRegistry,
         progress: Optional[SweepProgress],
         recorder: flightrec.FlightRecorder,
+        spans: Optional[obs_spans.SpanCollector] = None,
+        sweep_ctx: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.metrics = metrics
         self.progress = progress
         self.recorder = recorder
+        self.spans = spans if spans is not None else obs_spans.NULL_SPANS
+        self.sweep_ctx = sweep_ctx
         self.enabled = metrics.enabled
         if self.enabled:
             self._jobs = metrics.counter(
@@ -327,6 +342,36 @@ class _SweepObs:
                 self._queue_wait.observe(queue_wait)
         if self.progress is not None:
             self.progress.job_done(outcome, seconds)
+
+    def job_span(
+        self,
+        job: Job,
+        mode: str,
+        started_unix: Optional[float],
+        exec_s: Optional[float],
+        queue_wait_s: Optional[float] = None,
+    ) -> None:
+        """Synthesize the span tree of one executed job from its stamps.
+
+        Workers run in other processes, so instead of live spans they
+        ship wall-clock stamps home and the parent reconstructs a
+        ``sweep.job`` span (with ``sweep.queue_wait`` / ``sweep.exec``
+        children) under the sweep root.  Injected worker stubs may not
+        report stamps; those jobs simply go untraced.
+        """
+        if not self.spans.enabled or started_unix is None or exec_s is None:
+            return
+        wait = queue_wait_s or 0.0
+        submitted = started_unix - wait
+        parent = self.spans.add(
+            "sweep.job", submitted, wait + exec_s, parent=self.sweep_ctx,
+            benchmark=job.benchmark, config=job.config_name,
+            fidelity=job.fidelity, mode=mode,
+        )
+        if wait > 0.0:
+            self.spans.add("sweep.queue_wait", submitted, wait, parent=parent)
+        self.spans.add("sweep.exec", started_unix, exec_s, parent=parent,
+                       benchmark=job.benchmark, config=job.config_name)
 
     def event(self, name: str, **fields: object) -> None:
         """One robustness event: metric, flight-recorder note, progress."""
@@ -410,6 +455,7 @@ def _execute_job(payload: Dict[str, object], config: SystemConfig) -> Dict[str, 
     encoded["_obs"] = {
         "queue_wait_s": max(0.0, started - payload.get("_submitted", started)),
         "exec_s": perf_counter() - t0,
+        "started_unix": started,
     }
     return encoded
 
@@ -433,6 +479,8 @@ def run_jobs(
     progress: Optional[SweepProgress] = None,
     metrics: Optional[obs_metrics.MetricsRegistry] = None,
     recorder: Optional[flightrec.FlightRecorder] = None,
+    spans: Optional[obs_spans.SpanCollector] = None,
+    trace_parent: Optional[Mapping[str, str]] = None,
 ) -> SweepOutcome:
     """Execute a list of :class:`Job` specs, fanning out when asked.
 
@@ -445,8 +493,12 @@ def run_jobs(
     Observability: ``progress`` is a live
     :class:`~repro.obs.progress.SweepProgress` updated as jobs resolve;
     ``metrics`` overrides the process default registry; ``recorder``
-    overrides the per-call flight recorder.  All three default to the
-    ambient/no-op behaviour described in the module docstring.
+    overrides the per-call flight recorder.  ``spans`` overrides the
+    default span collector and ``trace_parent`` (a ``{"trace","span"}``
+    context) parents the ``sweep.run_jobs`` span, letting a caller —
+    ``run_suite``, a fabric agent — stitch this call into a wider
+    trace.  All default to the ambient/no-op behaviour described in
+    the module docstring.
 
     Returns a :class:`SweepOutcome` whose ``results`` align one-to-one
     with ``specs``.
@@ -461,7 +513,13 @@ def run_jobs(
     metrics = obs_metrics.default_registry() if metrics is None else metrics
     if recorder is None:
         recorder = flightrec.FlightRecorder(metrics=metrics)
-    obs = _SweepObs(metrics, progress, recorder)
+    span_collector = obs_spans.default_collector() if spans is None else spans
+    sweep_span = span_collector.span(
+        "sweep.run_jobs", parent=trace_parent,
+        total=len(specs), workers=max(1, jobs),
+    )
+    obs = _SweepObs(metrics, progress, recorder, span_collector,
+                    sweep_span.context())
     if progress is not None:
         progress.begin(total=len(specs), workers=max(1, jobs))
     store_before = (
@@ -503,6 +561,12 @@ def run_jobs(
                     results[index] = result
     finally:
         recorder.detach()
+        if sweep_span.enabled:
+            sweep_span.set_attr(
+                cached=stats.from_cache, store=stats.from_store,
+                executed=stats.executed_parallel + stats.executed_serial,
+            )
+        sweep_span.finish()
         if store_before is not None:
             delta = {
                 key: value - store_before.get(key, 0)
@@ -538,11 +602,14 @@ def _run_one_serial(
 ) -> RunResult:
     """Execute one job in this process (the fallback of last resort)."""
     _, job, _, _, config = item
+    start_wall = _wall_time()
     t0 = perf_counter()
     result = compute_job(config, job.benchmark, job.accesses, job.seed,
                       job.threads, job.fidelity)
+    seconds = perf_counter() - t0
     stats.executed_serial += 1
-    obs.job_done("serial", perf_counter() - t0)
+    obs.job_done("serial", seconds)
+    obs.job_span(job, "serial", start_wall, seconds)
     return _finish(item, result, active_store)
 
 
@@ -589,6 +656,10 @@ def _run_parallel(
                                       active_store)
                 stats.executed_parallel += 1
                 obs.job_done("parallel", timing.get("exec_s"),
+                             timing.get("queue_wait_s"))
+                obs.job_span(item[1], "parallel",
+                             timing.get("started_unix"),
+                             timing.get("exec_s"),
                              timing.get("queue_wait_s"))
             except FutureTimeout:
                 # The worker may be wedged; abandon it (the pool is shut

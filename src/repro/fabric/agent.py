@@ -35,11 +35,13 @@ import signal
 import socket
 import threading
 from time import perf_counter
-from typing import Dict, List, Optional
+from time import time as _wall_time
+from typing import Dict, List, Mapping, Optional
 
 from repro.experiments import runner, store, sweep
 from repro.fabric.client import CoordinatorUnavailable, FabricClient
 from repro.fabric.protocol import ProtocolError
+from repro.obs import spans as obs_spans
 
 _log = logging.getLogger("repro.fabric.agent")
 
@@ -146,17 +148,31 @@ class WorkerAgent:
         )
         heartbeat.start()
         items: List[Dict[str, object]] = []
+        batch_spans: List[Dict[str, object]] = []
         try:
-            for key, job in jobs:
-                items.append(self._execute(key, job))
+            for key, job, ctx in jobs:
+                items.append(self._execute(key, job, ctx, batch_spans))
         finally:
             stop_heartbeat.set()
             heartbeat.join(timeout=5)
         self.totals["batches"] += 1
-        self._report(lease_id, items)
+        self._report(lease_id, items, batch_spans)
 
-    def _execute(self, key: str, job: sweep.Job) -> Dict[str, object]:
-        """One job: verify identity, read through, simulate if needed."""
+    def _execute(
+        self,
+        key: str,
+        job: sweep.Job,
+        ctx: Optional[Mapping[str, str]] = None,
+        batch_spans: Optional[List[Dict[str, object]]] = None,
+    ) -> Dict[str, object]:
+        """One job: verify identity, read through, simulate if needed.
+
+        When the lease carries a trace context (``ctx``), each executed
+        job appends a finished ``fabric.execute`` span to
+        ``batch_spans`` — parented under the coordinator's lease span —
+        for the completion report to ship home.
+        """
+        start_wall = _wall_time()
         try:
             job, cache_key, spec, config = sweep.prepare(job)
             local_key = store.job_key(spec)
@@ -185,6 +201,17 @@ class WorkerAgent:
             if self.store is not None:
                 self.store.put(spec, result)
             self.totals["executed"] += 1
+            if ctx is not None and batch_spans is not None:
+                batch_spans.append(obs_spans.make_span(
+                    "fabric.execute", start_wall, seconds, ctx["trace"],
+                    parent_id=ctx["span"],
+                    attributes={
+                        "worker": self.worker_id,
+                        "benchmark": job.benchmark,
+                        "config": job.config_name,
+                        "outcome": "executed",
+                    },
+                ))
             return {
                 "key": key,
                 "result": store.encode_result(result),
@@ -203,7 +230,7 @@ class WorkerAgent:
                 "error": f"{type(exc).__name__}: {exc}",
             }
 
-    def _report(self, lease_id, items) -> None:
+    def _report(self, lease_id, items, batch_spans=None) -> None:
         """Ship one batch's results; bounded retries on outages."""
         metrics = {
             "jobs_executed": float(
@@ -224,7 +251,8 @@ class WorkerAgent:
         for attempt in range(5):
             try:
                 self.client.complete(
-                    self.worker_id, lease_id, items, metrics=metrics
+                    self.worker_id, lease_id, items, metrics=metrics,
+                    spans=batch_spans,
                 )
                 return
             except CoordinatorUnavailable as exc:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import store
 from repro.fabric import protocol
+from repro.obs import spans as obs_spans
 from repro.system.results import RunResult
 
 
@@ -98,11 +99,35 @@ class FabricClient:
         *plus* the FidelityGate's deterministic exact validation sample,
         so the completed sweep contains everything
         :meth:`fetch_calibrated_suite` needs to attach error bars.
+
+        When the process has a live span collector, the submission
+        opens a ``fabric.submit`` span and sends its context with the
+        request, so the coordinator's sweep trace parents under the
+        submitting client.
         """
+        span = obs_spans.default_collector().span(
+            "fabric.submit", coordinator=self.url,
+        )
+        try:
+            reply = self._submit(
+                benchmarks, configs, accesses, seed, threads, scheduler,
+                priority, fidelity, span.context(),
+            )
+        except Exception:
+            span.finish("error")
+            raise
+        span.finish()
+        return reply
+
+    def _submit(
+        self, benchmarks, configs, accesses, seed, threads, scheduler,
+        priority, fidelity, trace,
+    ) -> Dict[str, object]:
         if fidelity == "exact":
             request = protocol.sweep_request(
                 benchmarks, configs, accesses=accesses, seed=seed,
                 threads=threads, scheduler=scheduler, priority=priority,
+                trace=trace,
             )
         else:
             from repro.experiments import sweep as sweep_mod
@@ -123,7 +148,7 @@ class FabricClient:
                 for i in FidelityGate().select(keys)
             ]
             request = protocol.sweep_request_jobs(
-                fast_jobs + validation, priority=priority
+                fast_jobs + validation, priority=priority, trace=trace
             )
         reply = self._call("/v1/sweeps", request)
         protocol.check_envelope(reply, "sweep_accepted")
@@ -143,6 +168,58 @@ class FabricClient:
 
     def progress(self) -> Dict[str, object]:
         return self._call("/progress.json")
+
+    def trace(self) -> Dict[str, object]:
+        """The coordinator's span snapshot (``/spans.json``)."""
+        return self._call("/spans.json")
+
+    def events(self, timeout: Optional[float] = None):
+        """Live SSE stream from ``/events``: yields ``(kind, payload)``.
+
+        Connects to the coordinator's Server-Sent-Events endpoint and
+        yields each event as it arrives (keepalive comments are
+        skipped).  The generator ends when the server closes the
+        stream; connection problems raise
+        :class:`CoordinatorUnavailable`.  ``timeout`` bounds the wait
+        for each chunk, not the stream's total life.
+        """
+        request = urllib.request.Request(
+            self.url + "/events", headers={"Accept": "text/event-stream"}
+        )
+        try:
+            # Closed by the finally below; the CFG rule cannot see
+            # across the second try block.
+            response = urllib.request.urlopen(  # lint: resource-ok
+                request, timeout=timeout if timeout is not None else self.timeout
+            )
+        except (urllib.error.URLError, TimeoutError, ConnectionError,
+                OSError) as exc:
+            raise CoordinatorUnavailable(f"{self.url}/events: {exc}") from None
+        try:
+            kind = None
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode("utf-8", "replace").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("event:"):
+                    kind = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and (kind is not None or data_lines):
+                    payload = None
+                    if data_lines:
+                        try:
+                            payload = json.loads("\n".join(data_lines))
+                        except ValueError:
+                            payload = "\n".join(data_lines)
+                    yield (kind or "message", payload)
+                    kind = None
+                    data_lines = []
+        except (TimeoutError, ConnectionError, OSError) as exc:
+            raise CoordinatorUnavailable(f"{self.url}/events: {exc}") from None
+        finally:
+            response.close()
 
     def watch(
         self,
@@ -251,7 +328,8 @@ class FabricClient:
     # -- worker transport (used by the agent) --------------------------
     def lease(
         self, worker: str, capacity: int
-    ) -> Tuple[Optional[str], List[Tuple[str, object]], float]:
+    ) -> Tuple[Optional[str], List[Tuple[str, object, Optional[Dict[str, str]]]], float]:
+        """Claim a batch: ``(lease id, (key, job, trace ctx) triples, seconds)``."""
         reply = self._call(
             "/v1/lease", protocol.lease_request(worker, capacity)
         )
@@ -263,10 +341,12 @@ class FabricClient:
         lease_id: Optional[str],
         items: Sequence[Mapping[str, object]],
         metrics: Optional[Mapping[str, float]] = None,
+        spans: Optional[Sequence[Mapping[str, object]]] = None,
     ) -> Dict[str, object]:
         reply = self._call(
             "/v1/complete",
-            protocol.complete_report(worker, lease_id, items, metrics),
+            protocol.complete_report(worker, lease_id, items, metrics,
+                                     spans=spans),
         )
         protocol.check_envelope(reply, "complete_ack")
         return dict(reply)

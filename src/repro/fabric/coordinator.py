@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler
 from typing import Dict, List, Optional, Tuple
@@ -44,8 +45,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments import runner, store, sweep
 from repro.fabric import protocol
 from repro.fabric.state import DONE, CoordinatorState
+from repro.obs import spans as obs_spans
+from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.progress import SweepProgress, merge_snapshots
+from repro.obs.progress import SweepProgress, merge_snapshots, render_line
 from repro.obs.server import ObsServer
 
 _log = logging.getLogger("repro.fabric.coordinator")
@@ -66,6 +69,7 @@ class Coordinator:
         lease_seconds: float = 60.0,
         max_attempts: int = 3,
         clock=None,
+        spans: Optional[obs_spans.SpanCollector] = None,
     ) -> None:
         self.store = result_store if result_store is not None else store.get_store()
         # Reap temp files orphaned by writers killed mid-put: the
@@ -82,8 +86,18 @@ class Coordinator:
         self.state = CoordinatorState(
             lease_seconds=lease_seconds, max_attempts=max_attempts, **kwargs
         )
+        # Unlike instrumented *sites*, the coordinator collects spans by
+        # default: it is the long-lived fleet process whose /spans.json
+        # serves the stitched trace (pass a disabled collector to opt
+        # out).  The event bus feeds the /events SSE endpoint.
+        self.spans = (
+            spans if spans is not None else obs_spans.SpanCollector(enabled=True)
+        )
+        self.events = EventBus()
         self.lock = threading.RLock()
         self._progress: Dict[str, SweepProgress] = {}
+        self._sweep_spans: Dict[str, obs_spans.Span] = {}
+        self._lease_traces: Dict[str, Optional[Dict[str, str]]] = {}
         self._sweeps = self.registry.counter(
             "repro_fabric_sweeps_total", "Sweep submissions accepted."
         )
@@ -107,7 +121,9 @@ class Coordinator:
     # -- API ------------------------------------------------------------
     def submit(self, document: object) -> Dict[str, object]:
         """Accept one ``sweep_request``; expand, dedupe, queue."""
+        t0 = time.time()
         jobs, priority = protocol.parse_sweep_request(document)
+        submitter_ctx = protocol.trace_context(document)
         with self.lock:
             entries = []
             for job in jobs:
@@ -123,7 +139,29 @@ class Coordinator:
             if record.deduped == len(record.keys):
                 progress.finish()
             self._progress[record.id] = progress
+            # One root span per sweep, parented under the submitter's
+            # context when it sent one; stays open until the last job
+            # lands (finished in _advance_progress).
+            root = self.spans.span(
+                "fabric.sweep", parent=submitter_ctx, sweep=record.id,
+                total=len(record.keys), deduped=record.deduped,
+            )
+            self.spans.add(
+                "fabric.submit", t0, time.time() - t0,
+                parent=root if root.enabled else None,
+                sweep=record.id, jobs=len(record.keys),
+            )
+            if record.deduped == len(record.keys):
+                root.finish()
+            elif root.enabled:
+                self._sweep_spans[record.id] = root
         self._sweeps.inc()
+        self.events.publish("sweep", {
+            "sweep": record.id,
+            "total": len(record.keys),
+            "deduped": record.deduped,
+            "queued": len(record.keys) - record.deduped,
+        })
         if record.deduped:
             self._jobs.inc(record.deduped, worker="coordinator",
                            outcome="deduped")
@@ -140,6 +178,7 @@ class Coordinator:
 
     def lease(self, document: object) -> Dict[str, object]:
         """Grant a batch to a worker (empty grant when queue is dry)."""
+        t0 = time.time()
         worker, capacity = protocol.parse_lease_request(document)
         with self.lock:
             self._expire_locked()
@@ -148,11 +187,44 @@ class Coordinator:
                 return protocol.lease_grant(
                     None, [], self.state.lease_seconds
                 )
-            jobs = [(key, self.state.jobs[key].job) for key in lease.keys]
+            entries = [(key, self.state.jobs[key].job,
+                        self.state.jobs[key].sweeps)
+                       for key in lease.keys]
+            # The lease span lives in the trace of the first leased
+            # job's sweep; every job in the batch executes under it, so
+            # submit -> lease -> execute -> report stitches into one
+            # tree (a rare mixed-sweep batch shares the first trace).
+            sweep_ctx = None
+            for _key, _job, sweep_ids in entries:
+                sweep_ctx = self._sweep_ctx_locked(sweep_ids)
+                if sweep_ctx is not None:
+                    break
+            lease_doc = self.spans.add(
+                "fabric.lease", t0, time.time() - t0, parent=sweep_ctx,
+                worker=worker, lease=lease.id, jobs=len(entries),
+            )
+            lease_ctx = (
+                {"trace": lease_doc["trace"], "span": lease_doc["span"]}
+                if lease_doc is not None and sweep_ctx is not None
+                else None
+            )
+            self._lease_traces[lease.id] = lease_ctx
+            jobs = [(key, job, lease_ctx) for key, job, _sweeps in entries]
         self._lease_events.inc(event="granted")
         _log.debug("granted %s to %s: %d job(s)",
                    lease.id, worker, len(jobs))
-        return protocol.lease_grant(lease.id, jobs, self.state.lease_seconds)
+        return protocol.lease_grant(lease.id, jobs, self.state.lease_seconds,
+                                    trace=lease_ctx)
+
+    def _sweep_ctx_locked(
+        self, sweep_ids: List[str]
+    ) -> Optional[Dict[str, str]]:
+        """The span context of the first still-open sweep root, if any."""
+        for sweep_id in sweep_ids:
+            span = self._sweep_spans.get(sweep_id)
+            if span is not None:
+                return span.context()
+        return None
 
     def heartbeat(self, document: object) -> Dict[str, object]:
         worker, lease_id = protocol.parse_heartbeat(document)
@@ -164,8 +236,9 @@ class Coordinator:
 
     def complete(self, document: object) -> Dict[str, object]:
         """Ingest one batch of results; persist before acknowledging."""
-        worker, _lease_id, items, metrics = protocol.parse_complete_report(
-            document
+        t0 = time.time()
+        worker, lease_id, items, metrics, worker_spans = (
+            protocol.parse_complete_report(document)
         )
         accepted = duplicates = errors = 0
         for item in items:
@@ -219,12 +292,30 @@ class Coordinator:
                     self._jobs.inc(worker=worker, outcome="duplicate")
         if metrics:
             self._fold_worker_metrics(worker, metrics)
+        if worker_spans:
+            self.spans.ingest(worker_spans)
+        lease_ctx = (
+            self._lease_traces.pop(lease_id, None)
+            if lease_id is not None else None
+        )
+        self.spans.add(
+            "fabric.report", t0, time.time() - t0, parent=lease_ctx,
+            worker=worker, accepted=accepted, duplicates=duplicates,
+            errors=errors,
+        )
+        self.events.publish("progress", self._progress_event())
         return protocol.envelope(
             "complete_ack",
             accepted=accepted,
             duplicates=duplicates,
             errors=errors,
         )
+
+    def _progress_event(self) -> Dict[str, object]:
+        """The merged fleet snapshot, pre-rendered for SSE consumers."""
+        snapshot = self.fleet_progress()
+        snapshot["line"] = render_line(snapshot)
+        return snapshot
 
     def _advance_progress(
         self, sweep_ids: List[str], outcome: str, seconds
@@ -243,6 +334,9 @@ class Coordinator:
                 record.keys
             ):
                 progress.finish()
+                root = self._sweep_spans.pop(sweep_id, None)
+                if root is not None:
+                    root.finish()
 
     def _fold_worker_metrics(
         self, worker: str, metrics: Dict[str, float]
@@ -262,6 +356,14 @@ class Coordinator:
             self._lease_events.inc(len(requeued), event="expired")
             _log.warning("%d job(s) re-queued from expired lease(s)",
                          len(requeued))
+            # Drop trace contexts of leases the expiry reaped so the
+            # map stays bounded by the live-lease count.
+            live = set(self.state.leases)
+            self._lease_traces = {
+                lease_id: ctx
+                for lease_id, ctx in self._lease_traces.items()
+                if lease_id in live
+            }
 
     # -- views ----------------------------------------------------------
     def status(self) -> Dict[str, object]:
@@ -344,6 +446,8 @@ class CoordinatorServer(ObsServer):
             progress=_FleetProgress(coordinator),
             host=host,
             port=port,
+            spans=coordinator.spans,
+            events=coordinator.events,
         )
         self.coordinator = coordinator
 

@@ -36,12 +36,18 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import sweep
 from repro.fastsim.version import JOB_FIDELITIES
+from repro.obs import spans as obs_spans
 
 #: Bumped on any incompatible wire change; both sides refuse mismatches.
 #: 2: jobs carry a ``fidelity`` tier ("exact" or "fast") — version-1
 #: peers would reject the field, and silently dropping it would execute
 #: fast jobs at the wrong tier, so the change is incompatible.
-PROTOCOL_VERSION = 2
+#: 3: distributed span tracing — submissions and lease grants carry a
+#: ``trace`` context, lease-grant job entries carry their parenting
+#: context, and completion reports ship the worker's finished spans.
+#: Dropping these on one side would silently produce severed traces, so
+#: the change is incompatible.
+PROTOCOL_VERSION = 3
 
 #: Job fields as they appear on the wire (store-spec naming).
 _JOB_WIRE_FIELDS = ("benchmark", "config", "accesses", "seed", "threads",
@@ -88,6 +94,20 @@ def _require(document: Mapping[str, object], field: str, types, kind: str):
             f"got {value!r}"
         )
     return value
+
+
+def trace_context(
+    document: Mapping[str, object], where: str = "trace"
+) -> Optional[Dict[str, str]]:
+    """The validated span context under a message's ``trace`` field.
+
+    Returns ``{"trace", "span"}`` or None (untraced peers send null);
+    a malformed context is a protocol violation, not a span error.
+    """
+    try:
+        return obs_spans.check_context(document.get("trace"), where)
+    except obs_spans.SpanError as exc:
+        raise ProtocolError(str(exc)) from None
 
 
 # -- jobs ---------------------------------------------------------------
@@ -147,12 +167,15 @@ def sweep_request(
     scheduler: str = "ahb",
     priority: int = 0,
     fidelity: str = "exact",
+    trace: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, object]:
     """A grid submission: benchmarks x configs, local-sweep semantics.
 
     ``fidelity`` is the per-job tier applied to every grid cell; sweeps
     that mix tiers (the fast tier's validation sample) submit an
     explicit job list via :func:`sweep_request_jobs` instead.
+    ``trace`` is the submitter's span context; the coordinator parents
+    the whole sweep's trace under it when present.
     """
     return envelope(
         "sweep_request",
@@ -164,17 +187,21 @@ def sweep_request(
         scheduler=scheduler,
         priority=priority,
         fidelity=fidelity,
+        trace=dict(trace) if trace is not None else None,
     )
 
 
 def sweep_request_jobs(
-    jobs: Sequence[sweep.Job], priority: int = 0
+    jobs: Sequence[sweep.Job],
+    priority: int = 0,
+    trace: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, object]:
     """An explicit-jobs submission (mixed-tier sweeps use this form)."""
     return envelope(
         "sweep_request",
         jobs=[encode_job(job) for job in jobs],
         priority=priority,
+        trace=dict(trace) if trace is not None else None,
     )
 
 
@@ -260,22 +287,45 @@ def parse_lease_request(document: object) -> Tuple[str, int]:
 
 def lease_grant(
     lease_id: Optional[str],
-    jobs: Sequence[Tuple[str, sweep.Job]],
+    jobs: Sequence[Tuple[str, sweep.Job, Optional[Mapping[str, str]]]],
     lease_seconds: float,
+    trace: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, object]:
-    """``lease_id`` None (with no jobs) means "nothing queued right now"."""
+    """``lease_id`` None (with no jobs) means "nothing queued right now".
+
+    Each job entry is ``(key, job, trace context)``; the context (when
+    tracing is live) parents the worker's ``fabric.execute`` span under
+    the coordinator's sweep trace.  ``trace`` is the context of the
+    lease itself.
+    """
     return envelope(
         "lease_grant",
         lease=lease_id,
         lease_seconds=lease_seconds,
-        jobs=[{"key": key, "job": encode_job(job)} for key, job in jobs],
+        jobs=[
+            {
+                "key": key,
+                "job": encode_job(job),
+                "trace": dict(ctx) if ctx is not None else None,
+            }
+            for key, job, ctx in jobs
+        ],
+        trace=dict(trace) if trace is not None else None,
     )
 
 
 def parse_lease_grant(
     document: object,
-) -> Tuple[Optional[str], List[Tuple[str, sweep.Job]], float]:
-    """Inverse of :func:`lease_grant`: ``(lease id, jobs, seconds)``."""
+) -> Tuple[
+    Optional[str],
+    List[Tuple[str, sweep.Job, Optional[Dict[str, str]]]],
+    float,
+]:
+    """Inverse of :func:`lease_grant`: ``(lease id, jobs, seconds)``.
+
+    Jobs come back as ``(key, job, trace context)`` triples; the
+    context is None on untraced fleets.
+    """
     document = check_envelope(document, "lease_grant")
     lease_id = document.get("lease")
     if lease_id is not None and not isinstance(lease_id, str):
@@ -283,12 +333,16 @@ def parse_lease_grant(
     jobs_field = document.get("jobs", [])
     if not isinstance(jobs_field, Sequence) or isinstance(jobs_field, str):
         raise ProtocolError("lease_grant.jobs must be a list")
-    jobs: List[Tuple[str, sweep.Job]] = []
+    jobs: List[Tuple[str, sweep.Job, Optional[Dict[str, str]]]] = []
     for item in jobs_field:
         if not isinstance(item, Mapping):
             raise ProtocolError("lease_grant job entry must be an object")
         key = _require(item, "key", str, "lease_grant.jobs")
-        jobs.append((key, decode_job(item.get("job"))))
+        jobs.append((
+            key,
+            decode_job(item.get("job")),
+            trace_context(item, "lease_grant.jobs[].trace"),
+        ))
     lease_seconds = document.get("lease_seconds", 0.0)
     if not isinstance(lease_seconds, (int, float)) or isinstance(
         lease_seconds, bool
@@ -305,11 +359,15 @@ def complete_report(
     lease_id: Optional[str],
     items: Sequence[Mapping[str, object]],
     metrics: Optional[Mapping[str, float]] = None,
+    spans: Optional[Sequence[Mapping[str, object]]] = None,
 ) -> Dict[str, object]:
     """Results of one batch: per-job outcome plus a metrics delta.
 
     Each item is ``{"key": ..., "result": <encoded>|None, "outcome":
     "executed"|"store", "seconds": float|None, "error": str|None}``.
+    ``spans`` are the worker's finished encoded spans for this batch
+    (empty on untraced fleets), ingested by the coordinator into the
+    fleet-wide trace.
     """
     return envelope(
         "complete_report",
@@ -317,16 +375,25 @@ def complete_report(
         lease=lease_id,
         items=[dict(item) for item in items],
         metrics=dict(metrics) if metrics else {},
+        spans=[dict(span) for span in spans] if spans else [],
     )
 
 
 def parse_complete_report(
     document: object,
-) -> Tuple[str, Optional[str], List[Dict[str, object]], Dict[str, float]]:
-    """Validate a batch report: ``(worker, lease id, items, metrics)``.
+) -> Tuple[
+    str,
+    Optional[str],
+    List[Dict[str, object]],
+    Dict[str, float],
+    List[Dict[str, object]],
+]:
+    """Validate a batch report: ``(worker, lease, items, metrics, spans)``.
 
     Every item must carry a result or an error; non-numeric metric
-    values are dropped rather than rejected.
+    values are dropped rather than rejected.  Every shipped span must
+    pass :func:`repro.obs.spans.check_span` — a skewed worker cannot
+    poison the coordinator's trace store.
     """
     document = check_envelope(document, "complete_report")
     worker = _require(document, "worker", str, "complete_report")
@@ -367,7 +434,14 @@ def parse_complete_report(
         str(name): float(value) for name, value in metrics_field.items()
         if isinstance(value, (int, float)) and not isinstance(value, bool)
     }
-    return worker, lease_id, items, metrics
+    spans_field = document.get("spans", [])
+    if not isinstance(spans_field, Sequence) or isinstance(spans_field, str):
+        raise ProtocolError("complete_report.spans must be a list")
+    try:
+        spans = [obs_spans.check_span(span) for span in spans_field]
+    except obs_spans.SpanError as exc:
+        raise ProtocolError(f"complete_report.spans: {exc}") from None
+    return worker, lease_id, items, metrics, spans
 
 
 # -- heartbeat ----------------------------------------------------------

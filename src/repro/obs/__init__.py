@@ -23,8 +23,17 @@ docs/telemetry.md.
   ``.repro-results/postmortem/<job-key>.json`` crash dumps.
 * :mod:`repro.obs.bridge` — folds per-run totals (``RunResult``,
   loop stats, tracer counts) into the registry.
+* :mod:`repro.obs.spans` — the span-based wall-clock tracer
+  (``NULL_SPANS`` disabled default, ``REPRO_SPANS=1`` or the CLI to
+  enable) stitching sweep/fabric work into per-trace trees.
+* :mod:`repro.obs.critpath` — critical-path / straggler / self-time
+  analysis over a finished span tree.
+* :mod:`repro.obs.events` — the fan-out bus behind the ``/events``
+  SSE endpoint.
 """
 
+from repro.obs.critpath import analyze, critical_path, render_summary
+from repro.obs.events import EventBus
 from repro.obs.exporters import (
     parse_exposition,
     registry_snapshot,
@@ -45,10 +54,24 @@ from repro.obs.metrics import (
 )
 from repro.obs.progress import ProgressPrinter, SweepProgress, render_line
 from repro.obs.server import ObsServer
+from repro.obs.spans import (
+    NULL_SPANS,
+    Span,
+    SpanCollector,
+    SpanError,
+    default_collector,
+    load_spans,
+    reset_default_collector,
+    set_default_collector,
+    to_chrome_trace,
+    write_spans,
+)
 
 __all__ = [
     "NULL_METRICS",
+    "NULL_SPANS",
     "Counter",
+    "EventBus",
     "FlightRecorder",
     "Gauge",
     "Histogram",
@@ -56,14 +79,26 @@ __all__ = [
     "MetricsRegistry",
     "ObsServer",
     "ProgressPrinter",
+    "Span",
+    "SpanCollector",
+    "SpanError",
     "SweepProgress",
+    "analyze",
+    "critical_path",
+    "default_collector",
     "default_registry",
+    "load_spans",
     "parse_exposition",
     "read_postmortem",
     "registry_snapshot",
     "render_exposition",
     "render_line",
+    "render_summary",
+    "reset_default_collector",
     "reset_default_registry",
+    "set_default_collector",
     "set_default_registry",
+    "to_chrome_trace",
     "write_snapshot",
+    "write_spans",
 ]

@@ -1,0 +1,105 @@
+"""A tiny fan-out event bus backing the ``/events`` SSE endpoint.
+
+Publishers (progress subscribers, span-collector listeners, the fabric
+coordinator) push ``(kind, payload)`` tuples; each SSE client holds its
+own bounded queue, so one slow consumer drops *its own* oldest events
+instead of blocking the sweep.  ``close()`` pushes a ``None`` sentinel
+to every queue so handler threads wake immediately on shutdown.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, List, Optional, Tuple
+
+#: Per-subscriber queue bound; oldest events dropped beyond it.
+DEFAULT_QUEUE_CAPACITY = 256
+
+Event = Tuple[str, Any]
+
+
+class EventBus:
+    """Thread-safe publish/subscribe with per-subscriber bounded queues."""
+
+    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY):
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._queues: List["queue.Queue[Optional[Event]]"] = []
+        self._closed = False
+        self._dropped = 0
+
+    def subscribe(self) -> "queue.Queue[Optional[Event]]":
+        """A fresh queue receiving every event published from now on."""
+        q: "queue.Queue[Optional[Event]]" = queue.Queue(maxsize=self.capacity)
+        with self._lock:
+            self._queues.append(q)
+            if self._closed:
+                q.put(None)
+        return q
+
+    def unsubscribe(self, q: "queue.Queue[Optional[Event]]") -> None:
+        with self._lock:
+            try:
+                self._queues.remove(q)
+            except ValueError:
+                pass
+
+    def publish(self, kind: str, payload: Any) -> int:
+        """Deliver ``(kind, payload)`` to every subscriber; returns count."""
+        with self._lock:
+            if self._closed:
+                return 0
+            queues = list(self._queues)
+        event: Event = (kind, payload)
+        for q in queues:
+            try:
+                q.put_nowait(event)
+            except queue.Full:
+                with self._lock:
+                    self._dropped += 1
+                try:  # drop that subscriber's oldest, keep the stream fresh
+                    q.get_nowait()
+                except queue.Empty:
+                    pass
+                try:
+                    q.put_nowait(event)
+                except queue.Full:
+                    pass
+        return len(queues)
+
+    def close(self) -> None:
+        """Stop accepting events and wake every subscriber with a sentinel."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            queues = list(self._queues)
+        for q in queues:
+            try:
+                q.put_nowait(None)
+            except queue.Full:
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    pass
+                try:
+                    q.put_nowait(None)
+                except queue.Full:
+                    pass
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def dropped(self) -> int:
+        """Events dropped because a subscriber queue was full."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._queues)

@@ -21,6 +21,13 @@ after the process is gone.
 
 The ring costs a few hundred small dicts of memory and is always on in
 the sweep engine; nothing is written to disk unless something fails.
+
+The post-mortem directory itself is bounded: after every successful
+dump the oldest documents beyond :data:`DEFAULT_POSTMORTEM_CAP` files
+(``REPRO_POSTMORTEM_CAP`` overrides; ``0`` disables the cap) are
+evicted, counted into ``repro_postmortem_evictions_total`` — fuzz and
+sweep sessions accumulate post-mortems across runs, and an unbounded
+directory of stale crash dumps is its own operational failure.
 """
 
 from __future__ import annotations
@@ -43,6 +50,9 @@ POSTMORTEM_VERSION = 1
 
 #: Default ring capacity (records kept per recorder).
 DEFAULT_CAPACITY = 256
+
+#: Default bound on ``<store>/postmortem/`` documents (oldest evicted).
+DEFAULT_POSTMORTEM_CAP = 64
 
 _log = logging.getLogger("repro.obs.flightrec")
 
@@ -112,6 +122,7 @@ class FlightRecorder(logging.Handler):
         spec: Optional[Mapping[str, object]] = None,
         extra: Optional[Mapping[str, object]] = None,
         directory: Optional[str] = None,
+        max_files: Optional[int] = None,
     ) -> Optional[str]:
         """Dump the recorder state for one failed job; returns the path.
 
@@ -119,6 +130,12 @@ class FlightRecorder(logging.Handler):
         (``directory`` defaults to the shared post-mortem dir).  Dump
         failures are logged and swallowed — a broken disk must never
         turn a recovered sweep into a crashed one — returning None.
+
+        After a successful dump the directory is rotated down to
+        ``max_files`` documents (default: ``REPRO_POSTMORTEM_CAP`` or
+        :data:`DEFAULT_POSTMORTEM_CAP`; 0 or negative disables),
+        evicting oldest-first by mtime and counting evictions into the
+        ``repro_postmortem_evictions_total`` metric.
         """
         directory = paths.postmortem_dir() if directory is None else directory
         metrics = self._metrics if self._metrics is not None else default_registry()
@@ -154,7 +171,61 @@ class FlightRecorder(logging.Handler):
                 job_key, directory, exc_info=True,
             )
             return None
+        self._rotate(directory, path, max_files, metrics)
         return path
+
+    def _rotate(
+        self,
+        directory: str,
+        just_written: str,
+        max_files: Optional[int],
+        metrics: MetricsRegistry,
+    ) -> int:
+        """Evict oldest post-mortems beyond the cap; returns the count."""
+        cap = max_files if max_files is not None else _postmortem_cap()
+        if cap <= 0:
+            return 0
+        try:
+            entries = [
+                os.path.join(directory, name)
+                for name in os.listdir(directory)
+                if name.endswith(".json") and not name.startswith(".")
+            ]
+        except OSError:
+            return 0
+        if len(entries) <= cap:
+            return 0
+        def mtime(entry: str) -> float:
+            try:
+                return os.path.getmtime(entry)
+            except OSError:
+                return 0.0
+        # never evict the document this call just wrote, even with a
+        # coarse-mtime filesystem ranking it oldest
+        victims = [entry for entry in sorted(entries, key=mtime)
+                   if entry != just_written][: len(entries) - cap]
+        evicted = 0
+        for victim in victims:
+            try:
+                os.unlink(victim)
+                evicted += 1
+            except OSError:
+                pass  # racing eviction/readers; the cap is best-effort
+        if evicted and metrics.enabled:
+            metrics.counter(
+                "repro_postmortem_evictions_total",
+                "Post-mortem documents evicted by directory rotation.",
+            ).inc(evicted)
+        return evicted
+
+
+def _postmortem_cap() -> int:
+    """The effective post-mortem directory cap (env-overridable)."""
+    raw = os.environ.get("REPRO_POSTMORTEM_CAP", "")
+    try:
+        return int(raw) if raw else DEFAULT_POSTMORTEM_CAP
+    except ValueError:
+        return DEFAULT_POSTMORTEM_CAP
 
 
 def read_postmortem(path: str) -> Dict[str, object]:

@@ -6,7 +6,10 @@ Everything obs writes lives under the same root as the result store
 * ``<root>/metrics/``    — JSON metrics snapshots (one per sweep, the
   newest always at ``latest.json``), servable by ``repro obs serve``;
 * ``<root>/postmortem/`` — crash/timeout post-mortems written by the
-  flight recorder (:mod:`repro.obs.flightrec`).
+  flight recorder (:mod:`repro.obs.flightrec`);
+* ``<root>/spans/``      — span-trace snapshots written by the span
+  collector (:mod:`repro.obs.spans`), exportable with
+  ``repro obs trace export``.
 
 The root is resolved with the exact rule :func:`repro.experiments.store.
 store_root` uses, duplicated here (two lines) so that ``repro.obs``
@@ -36,3 +39,8 @@ def metrics_dir(root: str | None = None) -> str:
 def postmortem_dir(root: str | None = None) -> str:
     """Directory crash post-mortems are written to (not created here)."""
     return os.path.join(root if root is not None else obs_root(), "postmortem")
+
+
+def spans_dir(root: str | None = None) -> str:
+    """Directory span snapshots are written to (not created here)."""
+    return os.path.join(root if root is not None else obs_root(), "spans")

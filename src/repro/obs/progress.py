@@ -46,7 +46,7 @@ class SweepProgress:
         self._job_seconds_count = 0
         self._started = time.monotonic()
         self._finished: Optional[float] = None
-        self._listener = None
+        self._listeners: list = []
 
     # -- wiring --------------------------------------------------------
     def begin(self, total: int, workers: int = 1) -> None:
@@ -68,12 +68,15 @@ class SweepProgress:
         self._notify()
 
     def subscribe(self, listener) -> None:
-        """``listener(progress)`` is called after every update."""
-        self._listener = listener
+        """``listener(progress)`` is called after every update.
+
+        Several listeners may coexist (e.g. the TTY printer and the
+        SSE event bus); they are called in subscription order.
+        """
+        self._listeners.append(listener)
 
     def _notify(self) -> None:
-        listener = self._listener
-        if listener is not None:
+        for listener in list(self._listeners):
             listener(self)
 
     # -- updates (called by the sweep engine) --------------------------

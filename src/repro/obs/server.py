@@ -13,9 +13,15 @@ expose its state without any dependency beyond the standard library:
   flips ``status`` to ``stale`` once that age exceeds ``stale_after``
   seconds (a dead sweep stops refreshing its snapshot — the fabric
   coordinator and external monitors key off this);
-* ``GET /progress``      — a self-refreshing HTML dashboard of the
-  attached :class:`~repro.obs.progress.SweepProgress`;
-* ``GET /progress.json`` — the raw progress snapshot.
+* ``GET /progress``      — a live HTML dashboard of the attached
+  :class:`~repro.obs.progress.SweepProgress` (updates over ``/events``,
+  reloading as a fallback);
+* ``GET /progress.json`` — the raw progress snapshot;
+* ``GET /spans.json``    — the attached span collector's stored spans
+  (:mod:`repro.obs.spans`), 404 when no collector is attached;
+* ``GET /events``        — a Server-Sent-Events stream of progress
+  deltas (``event: progress``) and span completions (``event: span``),
+  so watchers update live instead of polling.
 
 Two sources, checked in order: a **live** :class:`MetricsRegistry` (and
 optional ``SweepProgress``) passed at construction — what ``repro sweep
@@ -34,14 +40,17 @@ import html
 import json
 import logging
 import os
+import queue
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.obs import exporters
+from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import SweepProgress, render_line
+from repro.obs.spans import SPANS_VERSION, SpanCollector
 
 _log = logging.getLogger("repro.obs.server")
 
@@ -49,7 +58,6 @@ _DASHBOARD_TEMPLATE = """<!DOCTYPE html>
 <html lang="en">
 <head>
 <meta charset="utf-8">
-<meta http-equiv="refresh" content="1">
 <title>repro sweep progress</title>
 <style>
   body {{ font-family: ui-monospace, monospace; margin: 2rem; }}
@@ -60,14 +68,30 @@ _DASHBOARD_TEMPLATE = """<!DOCTYPE html>
 </head>
 <body>
 <h1>repro sweep</h1>
-<p><progress max="{total}" value="{done}"></progress> {percent:.0f}%</p>
-<p>{line}</p>
+<p><progress id="bar" max="{total}" value="{done}"></progress>
+ <span id="pct">{percent:.0f}%</span></p>
+<p id="line">{line}</p>
 <table>
 <tr><th>counter</th><th>value</th></tr>
 {rows}
 </table>
 <p><a href="/metrics">/metrics</a> · <a href="/metrics.json">/metrics.json</a>
- · <a href="/healthz">/healthz</a> · <a href="/progress.json">/progress.json</a></p>
+ · <a href="/healthz">/healthz</a> · <a href="/progress.json">/progress.json</a>
+ · <a href="/spans.json">/spans.json</a> · <a href="/events">/events</a></p>
+<script>
+  // Live updates over /events; falls back to reloading (the old
+  // meta-refresh behaviour) if the SSE stream is unavailable.
+  const es = new EventSource('/events');
+  es.addEventListener('progress', (e) => {{
+    const s = JSON.parse(e.data);
+    const bar = document.getElementById('bar');
+    bar.max = Math.max(1, s.total);
+    bar.value = s.done;
+    document.getElementById('pct').textContent = s.percent.toFixed(0) + '%';
+    if (s.line) document.getElementById('line').textContent = s.line;
+  }});
+  es.onerror = () => {{ es.close(); setTimeout(() => location.reload(), 2000); }};
+</script>
 </body>
 </html>
 """
@@ -88,6 +112,8 @@ class ObsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         stale_after: Optional[float] = DEFAULT_STALE_AFTER,
+        spans: Optional[SpanCollector] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         if registry is None and snapshot_dir is None:
             raise ValueError("ObsServer needs a registry or a snapshot_dir")
@@ -95,8 +121,12 @@ class ObsServer:
         self.progress = progress
         self.snapshot_dir = snapshot_dir
         self.stale_after = stale_after
+        self.spans = spans
+        self.events = events if events is not None else EventBus()
         self._started_monotonic = time.monotonic()
         self._thread: Optional[threading.Thread] = None
+        self._closing = False
+        self._wired = False
         owner = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -128,6 +158,7 @@ class ObsServer:
 
     def start(self) -> "ObsServer":
         """Begin serving on a daemon thread; returns self."""
+        self._wire_events()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-obs-server",
@@ -145,6 +176,8 @@ class ObsServer:
         or a half-torn-down serve loop) — leaking the port would make
         every later bind on it fail with EADDRINUSE.
         """
+        self._closing = True
+        self.events.close()  # wakes any blocked /events handler thread
         try:
             self._httpd.shutdown()
         finally:
@@ -152,6 +185,21 @@ class ObsServer:
             if self._thread is not None:
                 self._thread.join(timeout=5)
                 self._thread = None
+
+    def _wire_events(self) -> None:
+        """Feed the SSE bus from the attached progress and span sources."""
+        if self._wired:
+            return
+        self._wired = True
+        if self.progress is not None and hasattr(self.progress, "subscribe"):
+            self.progress.subscribe(self._publish_progress)
+        if self.spans is not None:
+            self.spans.subscribe(lambda doc: self.events.publish("span", doc))
+
+    def _publish_progress(self, progress: SweepProgress) -> None:
+        snapshot = progress.snapshot()
+        snapshot["line"] = render_line(snapshot)
+        self.events.publish("progress", snapshot)
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (CLI use)."""
@@ -206,6 +254,23 @@ class ObsServer:
             ):
                 health["status"] = "stale"
                 health["stale_after_seconds"] = self.stale_after
+        # Fleet-skew visibility: every obs endpoint states which fabric
+        # wire version and span plane this process runs, so a mixed
+        # fleet is diagnosable from /healthz before a key-mismatch or
+        # protocol error surfaces.  Imported lazily — fabric sits above
+        # obs in the layering.
+        try:
+            from repro.fabric.protocol import PROTOCOL_VERSION
+            health["protocol"] = PROTOCOL_VERSION
+        except ImportError:  # pragma: no cover - fabric always ships
+            pass
+        spans = self.spans
+        health["obs"] = {
+            "spans": "enabled" if spans is not None and spans.enabled
+            else "disabled",
+        }
+        if spans is not None and spans.enabled:
+            health["obs"]["span_count"] = len(spans)
         health.update(self.health_extra())
         return health
 
@@ -284,6 +349,20 @@ class ObsServer:
                     )
                 else:
                     self._respond_json(handler, 200, snapshot)
+            elif path == "/spans.json":
+                if self.spans is None:
+                    self._respond_json(
+                        handler, 404, {"error": "no span collector attached"}
+                    )
+                else:
+                    self._respond_json(handler, 200, {
+                        "version": SPANS_VERSION,
+                        "enabled": self.spans.enabled,
+                        "dropped": self.spans.dropped,
+                        "spans": self.spans.spans(),
+                    })
+            elif path == "/events":
+                self._stream_events(handler)
             elif path in ("/", "/progress"):
                 self._respond(
                     handler, 200, "text/html; charset=utf-8", self._dashboard()
@@ -324,6 +403,51 @@ class ObsServer:
     def _handle_post(self, handler: BaseHTTPRequestHandler, path: str) -> bool:
         """Subclass hook for POST routes; True = request handled."""
         return False
+
+    # -- the SSE stream ------------------------------------------------
+    def _stream_events(self, handler: BaseHTTPRequestHandler) -> None:
+        """Serve one ``/events`` client until it disconnects or we close.
+
+        Runs on the request's own thread (ThreadingHTTPServer), blocking
+        on the subscriber queue with a short timeout so keepalive
+        comments flow while nothing happens and shutdown is prompt.
+        """
+        subscriber = self.events.subscribe()
+        try:
+            handler.send_response(200)
+            handler.send_header("Content-Type", "text/event-stream")
+            handler.send_header("Cache-Control", "no-store")
+            handler.send_header("Connection", "close")
+            handler.end_headers()
+            hello = {
+                "pid": os.getpid(),
+                "progress": self._progress_snapshot(),
+                "spans": len(self.spans) if self.spans is not None else 0,
+            }
+            self._write_sse(handler, "hello", hello)
+            while not self._closing:
+                try:
+                    item = subscriber.get(timeout=0.5)
+                except queue.Empty:
+                    handler.wfile.write(b": keepalive\n\n")
+                    handler.wfile.flush()
+                    continue
+                if item is None:  # close() sentinel
+                    break
+                kind, payload = item
+                self._write_sse(handler, kind, payload)
+        except (BrokenPipeError, ConnectionError, OSError):
+            pass  # client went away; nothing to salvage
+        finally:
+            self.events.unsubscribe(subscriber)
+
+    @staticmethod
+    def _write_sse(
+        handler: BaseHTTPRequestHandler, kind: str, payload: object
+    ) -> None:
+        frame = f"event: {kind}\ndata: {json.dumps(payload, sort_keys=True)}\n\n"
+        handler.wfile.write(frame.encode("utf-8"))
+        handler.wfile.flush()
 
     @staticmethod
     def _respond(

@@ -63,6 +63,35 @@ class TestCost:
         assert "MC area" in out
 
 
+class TestObsTraceExport:
+    def test_export_renders_perfetto_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.spans import SpanCollector, write_spans
+
+        collector = SpanCollector(enabled=True)
+        with collector.span("sweep.run_jobs", total=1) as root:
+            collector.add("sweep.job", root.start_unix, 0.2, parent=root,
+                          benchmark="milc", config="PS")
+        snapshot = write_spans(collector, directory=str(tmp_path))
+        output = tmp_path / "trace.json"
+        assert main(["obs", "trace", "export", "--input", snapshot,
+                     "-o", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "2 span(s)" in out
+        assert "straggler: milc/PS" in out
+        document = json.loads(output.read_text())
+        names = {e["name"] for e in document["traceEvents"]
+                 if e["ph"] == "X"}
+        assert names == {"sweep.run_jobs", "sweep.job"}
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["obs", "trace", "export",
+                     "--input", str(tmp_path / "nope.json"),
+                     "-o", str(tmp_path / "out.json")]) == 2
+        assert "no span snapshot" in capsys.readouterr().err
+
+
 class TestFigure:
     def test_figure_hardware(self, capsys):
         assert main(["figure", "hardware"]) == 0

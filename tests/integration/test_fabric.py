@@ -14,10 +14,14 @@ real :class:`CoordinatorServer` over HTTP, results equal to a serial
 submission) lives in ``tools/fabric_smoke.py``.
 """
 
+import threading
+
 import pytest
 
 from repro.experiments import runner, store, sweep
 from repro.fabric import protocol
+from repro.obs import critpath
+from repro.obs import spans as obs_spans
 from repro.fabric.agent import WorkerAgent
 from repro.fabric.client import FabricClient
 from repro.fabric.coordinator import Coordinator, CoordinatorServer
@@ -90,11 +94,11 @@ class TestWorkerDeath:
         lease_id, jobs, _ = protocol.parse_lease_grant(
             coordinator.lease(protocol.lease_request("rescuer", 2))
         )
-        assert sorted(key for key, _ in jobs) == sorted(
-            key for key, _ in doomed_jobs
+        assert sorted(key for key, _j, _c in jobs) == sorted(
+            key for key, _j, _c in doomed_jobs
         )
         ack = coordinator.complete(protocol.complete_report(
-            "rescuer", lease_id, [executed_item(k, j) for k, j in jobs]
+            "rescuer", lease_id, [executed_item(k, j) for k, j, _c in jobs]
         ))
         assert ack["accepted"] == 2
         status = coordinator.sweep_status(reply["sweep"])
@@ -133,9 +137,9 @@ class TestCoordinatorRestart:
             first.lease(protocol.lease_request("w1", 2))
         )
         first.complete(protocol.complete_report(
-            "w1", lease_id, [executed_item(k, j) for k, j in jobs]
+            "w1", lease_id, [executed_item(k, j) for k, j, _c in jobs]
         ))
-        done_keys = {key for key, _ in jobs}
+        done_keys = {key for key, _j, _c in jobs}
 
         # A fresh process has no in-process cache: recovery must come
         # from the on-disk store alone.
@@ -149,9 +153,9 @@ class TestCoordinatorRestart:
         lease_id, remainder, _ = protocol.parse_lease_grant(
             second.lease(protocol.lease_request("w2", 4))
         )
-        assert {key for key, _ in remainder}.isdisjoint(done_keys)
+        assert {key for key, _j, _c in remainder}.isdisjoint(done_keys)
         second.complete(protocol.complete_report(
-            "w2", lease_id, [executed_item(k, j) for k, j in remainder]
+            "w2", lease_id, [executed_item(k, j) for k, j, _c in remainder]
         ))
         status = second.sweep_status(resubmitted["sweep"])
         assert status["done"] is True
@@ -228,3 +232,78 @@ class TestHttpRoundTrip:
                 client.sweep_status("sweep-404")
         finally:
             server.close()
+
+
+class TestTraceStitching:
+    """Protocol v3 acceptance: a two-worker run yields ONE stitched
+    trace covering submit -> lease -> execute -> report per job."""
+
+    def test_two_worker_sweep_stitches_into_one_trace(self, tmp_path):
+        submit_spans = obs_spans.SpanCollector(enabled=True)
+        obs_spans.set_default_collector(submit_spans)
+        coordinator = make_coordinator(tmp_path / "coordinator-store")
+        server = CoordinatorServer(coordinator).start()
+        try:
+            client = FabricClient(server.url)
+            accepted = client.submit(
+                ["milc", "tonto"], ["NP", "PS"], accesses=ACCESSES,
+                seed=SEED,
+            )
+            agents = [
+                WorkerAgent(
+                    server.url, worker_id=f"w{n}", capacity=2,
+                    poll_seconds=0.05, drain_idle_seconds=0.3,
+                    result_store=store.ResultStore(
+                        str(tmp_path / f"worker-{n}-store")
+                    ),
+                )
+                for n in (1, 2)
+            ]
+            threads = [
+                threading.Thread(target=agent.run) for agent in agents
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert client.sweep_status(accepted["sweep"])["done"] is True
+
+            fleet = client.trace()["spans"]
+            local = submit_spans.spans()
+        finally:
+            server.close()
+            obs_spans.reset_default_collector()
+
+        # one trace end to end: the submitter's span and everything the
+        # coordinator collected (its own + worker-shipped) share it
+        submit_local = [d for d in local if d["name"] == "fabric.submit"]
+        assert len(submit_local) == 1
+        traces = {doc["trace"] for doc in fleet}
+        assert traces == {submit_local[0]["trace"]}
+
+        by_name = {}
+        by_id = {doc["span"]: doc for doc in fleet}
+        for doc in fleet:
+            by_name.setdefault(doc["name"], []).append(doc)
+        root, = by_name["fabric.sweep"]
+        assert root["parent"] == submit_local[0]["span"]
+        for lease in by_name["fabric.lease"]:
+            assert lease["parent"] == root["span"]
+        # every job executed exactly once, under a lease, by our workers
+        executes = by_name["fabric.execute"]
+        assert sorted(
+            (doc["attrs"]["benchmark"], doc["attrs"]["config"])
+            for doc in executes
+        ) == [("milc", "NP"), ("milc", "PS"),
+              ("tonto", "NP"), ("tonto", "PS")]
+        for doc in executes:
+            assert by_id[doc["parent"]]["name"] == "fabric.lease"
+            assert doc["attrs"]["worker"] in {"w1", "w2"}
+        for report in by_name["fabric.report"]:
+            assert by_id[report["parent"]]["name"] == "fabric.lease"
+        # the analyzer reads the stitched tree directly
+        analysis = critpath.analyze(fleet)
+        assert analysis["traces"] == 1
+        assert analysis["critical_path"][0]["name"] == "fabric.sweep"
+        assert analysis["straggler"] is not None
+        assert "/" in analysis["straggler"]["label"]

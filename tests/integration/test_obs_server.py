@@ -14,6 +14,7 @@ from repro.obs import exporters
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import SweepProgress
 from repro.obs.server import ObsServer
+from repro.obs.spans import SpanCollector
 
 
 def get(url: str):
@@ -62,6 +63,16 @@ class TestLiveEndpoints:
         assert health["uptime_seconds"] >= 0
         assert isinstance(health["pid"], int)
 
+    def test_healthz_reports_protocol_and_span_plane(self, live_server):
+        # fleet-skew visibility: which wire version and span plane this
+        # process runs must be readable before any protocol error hits
+        from repro.fabric.protocol import PROTOCOL_VERSION
+
+        _, _, body = get(live_server.url + "/healthz")
+        health = json.loads(body)
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert health["obs"] == {"spans": "disabled"}
+
     def test_progress_json(self, live_server):
         status, _, body = get(live_server.url + "/progress.json")
         snap = json.loads(body)
@@ -81,6 +92,98 @@ class TestLiveEndpoints:
         with pytest.raises(urllib.error.HTTPError) as err:
             get(live_server.url + "/nope")
         assert err.value.code == 404
+
+
+class TestSpansEndpoint:
+    def test_spans_json_serves_collector_contents(self):
+        collector = SpanCollector(enabled=True)
+        collector.add("sweep.job", 10.0, 1.5, benchmark="milc")
+        server = ObsServer(
+            registry=MetricsRegistry(enabled=True), spans=collector
+        ).start()
+        try:
+            status, _, body = get(server.url + "/spans.json")
+            document = json.loads(body)
+            assert status == 200
+            assert document["enabled"] is True
+            assert document["dropped"] == 0
+            assert [s["name"] for s in document["spans"]] == ["sweep.job"]
+            _, _, health = get(server.url + "/healthz")
+            obs = json.loads(health)["obs"]
+            assert obs == {"spans": "enabled", "span_count": 1}
+        finally:
+            server.close()
+
+    def test_no_collector_is_404(self):
+        server = ObsServer(registry=MetricsRegistry(enabled=True)).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(server.url + "/spans.json")
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+
+class TestEventsStream:
+    @staticmethod
+    def read_frames(response, want: int):
+        """Parse SSE frames off a live response until ``want`` arrive."""
+        frames, kind, data = [], None, []
+        while len(frames) < want:
+            line = response.readline().decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue  # keepalive comment
+            if line.startswith("event:"):
+                kind = line.split(":", 1)[1].strip()
+            elif line.startswith("data:"):
+                data.append(line.split(":", 1)[1].strip())
+            elif line == "" and (kind or data):
+                frames.append((kind, json.loads("\n".join(data))))
+                kind, data = None, []
+        return frames
+
+    def test_progress_and_span_events_stream(self):
+        registry = MetricsRegistry(enabled=True)
+        progress = SweepProgress(total=2)
+        collector = SpanCollector(enabled=True)
+        server = ObsServer(
+            registry=registry, progress=progress, spans=collector
+        ).start()
+        try:
+            response = urllib.request.urlopen(  # lint: resource-ok
+                server.url + "/events", timeout=5
+            )
+            try:
+                (hello_kind, hello), = self.read_frames(response, 1)
+                assert hello_kind == "hello"
+                assert hello["progress"]["total"] == 2
+                # a finishing job and a finishing span must both fan out
+                progress.job_done("serial", seconds=0.1)
+                collector.add("sweep.job", 5.0, 0.1, benchmark="milc")
+                frames = dict(self.read_frames(response, 2))
+                assert frames["progress"]["done"] == 1
+                assert "sweep 1/2" in frames["progress"]["line"]
+                assert frames["span"]["name"] == "sweep.job"
+            finally:
+                response.close()
+        finally:
+            server.close()
+
+    def test_close_ends_the_stream(self):
+        server = ObsServer(registry=MetricsRegistry(enabled=True)).start()
+        response = urllib.request.urlopen(  # lint: resource-ok
+            server.url + "/events", timeout=5
+        )
+        try:
+            self.read_frames(response, 1)  # hello
+            server.close()
+            # the handler stops writing; the stream drains to EOF
+            deadline = 200
+            while response.readline() and deadline:
+                deadline -= 1
+            assert deadline > 0
+        finally:
+            response.close()
 
 
 class TestCloseReleasesSocket:

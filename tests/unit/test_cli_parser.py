@@ -95,6 +95,25 @@ class TestObsFlags:
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["obs"])
 
+    def test_obs_trace_export_defaults(self):
+        args = _build_parser().parse_args(["obs", "trace", "export"])
+        assert args.obs_command == "trace"
+        assert args.obs_trace_command == "export"
+        assert args.input is None  # resolves to spans/latest.json
+        assert args.output == "trace.json"
+
+    def test_obs_trace_export_flags(self):
+        args = _build_parser().parse_args(
+            ["obs", "trace", "export", "--input", "/tmp/spans.json",
+             "-o", "/tmp/out.json"]
+        )
+        assert args.input == "/tmp/spans.json"
+        assert args.output == "/tmp/out.json"
+
+    def test_obs_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["obs", "trace"])
+
 
 class TestFabricSubcommand:
     def test_serve_defaults(self):
@@ -137,6 +156,27 @@ class TestFabricSubcommand:
              "--sweep", "sweep-3"]
         )
         assert args.sweep == "sweep-3"
+
+    def test_watch_defaults(self):
+        args = _build_parser().parse_args(
+            ["fabric", "watch", "--coordinator", "http://h:1"]
+        )
+        assert args.fabric_command == "watch"
+        assert args.coordinator == "http://h:1"
+        assert args.sweep is None
+        assert args.poll == 2.0
+
+    def test_watch_flags(self):
+        args = _build_parser().parse_args(
+            ["fabric", "watch", "--coordinator", "http://h:1",
+             "--sweep", "sweep-9", "--poll", "0.5"]
+        )
+        assert args.sweep == "sweep-9"
+        assert args.poll == 0.5
+
+    def test_watch_requires_coordinator(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fabric", "watch"])
 
     def test_fabric_requires_subcommand(self):
         with pytest.raises(SystemExit):

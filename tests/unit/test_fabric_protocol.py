@@ -5,6 +5,7 @@ import pytest
 from repro.experiments import sweep
 from repro.fabric import protocol
 from repro.fabric.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.obs import spans as obs_spans
 
 
 def resolved_job(**overrides):
@@ -117,11 +118,28 @@ class TestLeaseMessages:
 
     def test_lease_grant_round_trip(self):
         job = resolved_job()
-        grant = protocol.lease_grant("lease-1", [("k1", job)], 30.0)
+        grant = protocol.lease_grant("lease-1", [("k1", job, None)], 30.0)
         lease_id, jobs, seconds = protocol.parse_lease_grant(grant)
         assert lease_id == "lease-1"
-        assert jobs == [("k1", job)]
+        assert jobs == [("k1", job, None)]
         assert seconds == 30.0
+
+    def test_lease_grant_carries_trace_context(self):
+        job = resolved_job()
+        ctx = {"trace": "t" * 32, "span": "s" * 16}
+        grant = protocol.lease_grant(
+            "lease-1", [("k1", job, ctx)], 30.0, trace=ctx
+        )
+        _lease_id, jobs, _seconds = protocol.parse_lease_grant(grant)
+        assert jobs == [("k1", job, ctx)]
+        assert grant["trace"] == ctx
+
+    def test_lease_grant_malformed_trace_rejected(self):
+        job = resolved_job()
+        grant = protocol.lease_grant("lease-1", [("k1", job, None)], 30.0)
+        grant["jobs"][0]["trace"] = {"trace": "only-half"}
+        with pytest.raises(ProtocolError, match="trace"):
+            protocol.parse_lease_grant(grant)
 
     def test_empty_grant_means_nothing_queued(self):
         lease_id, jobs, _ = protocol.parse_lease_grant(
@@ -139,20 +157,21 @@ class TestCompleteReport:
               "seconds": 0.5, "error": None}],
             metrics={"jobs": 1.0},
         )
-        worker, lease_id, items, metrics = protocol.parse_complete_report(
-            report
+        worker, lease_id, items, metrics, spans = (
+            protocol.parse_complete_report(report)
         )
         assert (worker, lease_id) == ("w1", "lease-1")
         assert items[0]["key"] == "k1"
         assert items[0]["result"] == {"x": 1}
         assert items[0]["seconds"] == 0.5
         assert metrics == {"jobs": 1.0}
+        assert spans == []
 
     def test_error_item_allowed_without_result(self):
         report = protocol.complete_report(
             "w1", "lease-1", [{"key": "k1", "error": "boom"}]
         )
-        _, _, items, _ = protocol.parse_complete_report(report)
+        _, _, items, _, _ = protocol.parse_complete_report(report)
         assert items[0]["result"] is None
         assert items[0]["error"] == "boom"
 
@@ -168,8 +187,48 @@ class TestCompleteReport:
             "w1", None, [{"key": "k1", "result": {}}],
             metrics={"ok": 2, "bad": "nan-ish", "flag": True},
         )
-        _, _, _, metrics = protocol.parse_complete_report(report)
+        _, _, _, metrics, _ = protocol.parse_complete_report(report)
         assert metrics == {"ok": 2.0}
+
+    def test_report_ships_worker_spans(self):
+        span = obs_spans.make_span(
+            "fabric.execute", 100.0, 0.25, "t" * 32,
+            attributes={"worker": "w1"},
+        )
+        report = protocol.complete_report(
+            "w1", "lease-1", [{"key": "k1", "result": {}}], spans=[span]
+        )
+        _, _, _, _, spans = protocol.parse_complete_report(report)
+        assert spans == [span]
+
+    def test_malformed_span_rejected(self):
+        report = protocol.complete_report(
+            "w1", "lease-1", [{"key": "k1", "result": {}}]
+        )
+        report["spans"] = [{"name": "fabric.execute"}]
+        with pytest.raises(ProtocolError, match="span"):
+            protocol.parse_complete_report(report)
+
+
+class TestTraceOnTheWire:
+    """Protocol v3: messages may carry a span context (docs/fabric.md)."""
+
+    def test_sweep_request_carries_submitter_context(self):
+        ctx = {"trace": "a" * 32, "span": "b" * 16}
+        request = protocol.sweep_request(
+            ["milc"], ["NP"], accesses=100, seed=1, trace=ctx
+        )
+        assert protocol.trace_context(request) == ctx
+
+    def test_absent_trace_parses_as_none(self):
+        request = protocol.sweep_request(["milc"], ["NP"])
+        assert protocol.trace_context(request) is None
+
+    def test_malformed_trace_rejected(self):
+        request = protocol.sweep_request(["milc"], ["NP"])
+        request["trace"] = {"span": "orphan"}
+        with pytest.raises(ProtocolError, match="trace"):
+            protocol.trace_context(request)
 
 
 class TestHeartbeat:
@@ -186,10 +245,10 @@ class TestHeartbeat:
 class TestFidelityOnTheWire:
     """Protocol v2: jobs carry their fidelity tier (docs/fidelity.md)."""
 
-    def test_protocol_version_is_2(self):
-        # v1 peers would silently run fast jobs exactly, so the field
-        # addition was a breaking bump
-        assert PROTOCOL_VERSION == 2
+    def test_protocol_version_is_3(self):
+        # v2 added fidelity tiers; v3 added trace context + worker span
+        # shipping — both breaking bumps for older peers
+        assert PROTOCOL_VERSION == 3
 
     def test_fast_job_round_trip(self):
         job = resolved_job(fidelity="fast")

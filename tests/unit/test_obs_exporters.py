@@ -81,6 +81,49 @@ class TestParse:
     def test_comments_and_blanks_are_skipped(self):
         assert exporters.parse_exposition("# HELP x y\n\n# TYPE x counter\n") == {}
 
+    def test_empty_registry_round_trips_to_empty_dict(self):
+        # the CI smoke's degenerate case: nothing rendered, nothing parsed
+        assert exporters.parse_exposition(
+            exporters.render_exposition(MetricsRegistry())
+        ) == {}
+
+    def test_escaped_label_values_round_trip(self):
+        # every escape the 0.0.4 format defines, in one label value,
+        # plus a comma and an equals sign that must not split the pair
+        hostile = 'a\\b"c\nd,e=f'
+        reg = MetricsRegistry()
+        reg.counter("c", "", ("path", "kind")).inc(
+            2, path=hostile, kind="plain"
+        )
+        parsed = exporters.parse_exposition(exporters.render_exposition(reg))
+        assert parsed[
+            ("c", (("kind", "plain"), ("path", hostile)))
+        ] == 2.0
+
+    def test_trailing_backslash_label_value(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "", ("p",)).inc(p="ends\\")
+        parsed = exporters.parse_exposition(exporters.render_exposition(reg))
+        assert parsed[("c", (("p", "ends\\"),))] == 1.0
+
+    def test_histogram_inf_sum_count_round_trip(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", "", buckets=(0.5,),
+                             labelnames=("stage",))
+        hist.observe(0.1, stage="lease")
+        hist.observe(9.0, stage="lease")
+        parsed = exporters.parse_exposition(exporters.render_exposition(reg))
+        stage = ("stage", "lease")
+        assert parsed[("h_seconds_bucket", (("le", "0.5"), stage))] == 1.0
+        assert parsed[("h_seconds_bucket", (("le", "+Inf"), stage))] == 2.0
+        assert parsed[("h_seconds_sum", (stage,))] == pytest.approx(9.1)
+        assert parsed[("h_seconds_count", (stage,))] == 2.0
+
+    def test_inf_sample_value_parses(self):
+        parsed = exporters.parse_exposition("g +Inf\nh -Inf\n")
+        assert parsed[("g", ())] == float("inf")
+        assert parsed[("h", ())] == float("-inf")
+
 
 class TestSnapshot:
     def test_snapshot_round_trips_to_identical_exposition(self):

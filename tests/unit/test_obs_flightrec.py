@@ -119,3 +119,74 @@ class TestPostmortem:
         blocker.write_text("not a directory")
         rec = FlightRecorder(metrics=MetricsRegistry(enabled=False))
         assert rec.postmortem("x", "k", directory=str(blocker)) is None
+
+
+class TestPostmortemRotation:
+    @staticmethod
+    def recorder(metrics=None):
+        return FlightRecorder(
+            metrics=metrics if metrics is not None
+            else MetricsRegistry(enabled=False)
+        )
+
+    @staticmethod
+    def age(directory, order):
+        """Force distinct mtimes so eviction order is deterministic."""
+        for offset, name in enumerate(order):
+            path = os.path.join(directory, f"{name}.json")
+            os.utime(path, (1000.0 + offset, 1000.0 + offset))
+
+    def test_oldest_evicted_beyond_cap(self, tmp_path):
+        rec = self.recorder()
+        for key in ("k1", "k2", "k3"):
+            rec.postmortem("timeout", key, directory=str(tmp_path))
+        self.age(str(tmp_path), ("k1", "k2", "k3"))
+        rec.postmortem("timeout", "k4", directory=str(tmp_path),
+                       max_files=2)
+        left = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert left == ["k3.json", "k4.json"]
+
+    def test_just_written_survives_even_with_coarse_mtime(self, tmp_path):
+        rec = self.recorder()
+        for key in ("k1", "k2"):
+            rec.postmortem("timeout", key, directory=str(tmp_path))
+        rec.postmortem("timeout", "k3", directory=str(tmp_path))
+        # rank the fresh dump oldest: it must still not be the victim
+        os.utime(tmp_path / "k3.json", (1.0, 1.0))
+        self.age(str(tmp_path), ("k1", "k2"))
+        rec._rotate(str(tmp_path), str(tmp_path / "k3.json"), 1,
+                    MetricsRegistry(enabled=False))
+        assert (tmp_path / "k3.json").exists()
+
+    def test_eviction_counter_increments(self, tmp_path):
+        reg = MetricsRegistry(enabled=True)
+        rec = self.recorder(metrics=reg)
+        for key in ("k1", "k2", "k3"):
+            rec.postmortem("timeout", key, directory=str(tmp_path))
+        self.age(str(tmp_path), ("k1", "k2", "k3"))
+        rec.postmortem("timeout", "k4", directory=str(tmp_path),
+                       max_files=2)
+        counter = reg.counter("repro_postmortem_evictions_total")
+        assert sum(value for _labels, value in counter.samples()) == 2
+
+    def test_env_cap_and_disable(self, tmp_path, monkeypatch):
+        from repro.obs import flightrec
+
+        monkeypatch.setenv("REPRO_POSTMORTEM_CAP", "7")
+        assert flightrec._postmortem_cap() == 7
+        monkeypatch.setenv("REPRO_POSTMORTEM_CAP", "not-a-number")
+        assert flightrec._postmortem_cap() == flightrec.DEFAULT_POSTMORTEM_CAP
+        monkeypatch.delenv("REPRO_POSTMORTEM_CAP")
+        assert flightrec._postmortem_cap() == flightrec.DEFAULT_POSTMORTEM_CAP
+        # cap 0 disables rotation entirely
+        rec = self.recorder()
+        for key in ("k1", "k2", "k3"):
+            rec.postmortem("timeout", key, directory=str(tmp_path),
+                           max_files=0)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_under_cap_touches_nothing(self, tmp_path):
+        rec = self.recorder()
+        rec.postmortem("timeout", "k1", directory=str(tmp_path),
+                       max_files=10)
+        assert (tmp_path / "k1.json").exists()
